@@ -1,0 +1,266 @@
+//! Dependency graphs for weak and rich acyclicity.
+//!
+//! Nodes are schema positions. For each TGD and each universal variable `x`
+//! occurring in the body at position `π`:
+//!
+//! * if `x` occurs in the head (it is a *frontier* variable):
+//!   - a **regular** edge `π → π'` for every head position `π'` of `x`
+//!     (the value propagates),
+//!   - a **special** edge `π → π''` for every head position `π''` of an
+//!     existential variable (a fresh null is created whose value depends on
+//!     the trigger).
+//! * additionally, in the **extended** dependency graph (rich acyclicity,
+//!   Hernich–Schweikardt), special edges emanate from the body positions of
+//!   *every* universal variable — frontier or not — because under the
+//!   oblivious chase a change anywhere in the body image yields a new
+//!   trigger and hence new nulls.
+//!
+//! Weak acyclicity [Fagin et al., TCS'05]: the dependency graph has no
+//! cycle through a special edge. Rich acyclicity: same condition on the
+//! extended graph.
+
+use chasekit_core::{Program, Term, Tgd};
+
+use crate::graph::DiGraph;
+use crate::position::{Position, PositionMap};
+
+/// Which dependency graph to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphKind {
+    /// The dependency graph of weak acyclicity.
+    Standard,
+    /// The extended dependency graph of rich acyclicity.
+    Extended,
+}
+
+/// Builds the (extended) dependency graph of a program's rules.
+pub fn dependency_graph(program: &Program, kind: GraphKind) -> DiGraph {
+    let map = PositionMap::new(&program.vocab);
+    let mut g = DiGraph::new(map.len());
+    for rule in program.rules() {
+        add_rule_edges(rule, kind, &map, &mut g);
+    }
+    g
+}
+
+fn add_rule_edges(rule: &Tgd, kind: GraphKind, map: &PositionMap, g: &mut DiGraph) {
+    // Existential positions of the head (targets of special edges).
+    let mut existential_positions: Vec<usize> = Vec::new();
+    for atom in rule.head() {
+        for (i, t) in atom.args.iter().enumerate() {
+            if let Term::Var(v) = *t {
+                if !rule.is_universal(v) {
+                    existential_positions.push(map.index(Position { pred: atom.pred, index: i }));
+                }
+            }
+        }
+    }
+
+    for atom in rule.body() {
+        for (i, t) in atom.args.iter().enumerate() {
+            let Term::Var(v) = *t else { continue };
+            if !rule.is_universal(v) {
+                continue; // cannot happen in a valid TGD, but be defensive
+            }
+            let from = map.index(Position { pred: atom.pred, index: i });
+            let frontier = rule.is_frontier(v);
+
+            if frontier {
+                // Regular propagation edges.
+                for head_atom in rule.head() {
+                    for (j, ht) in head_atom.args.iter().enumerate() {
+                        if *ht == Term::Var(v) {
+                            let to = map.index(Position { pred: head_atom.pred, index: j });
+                            g.add_edge(from, to, false);
+                        }
+                    }
+                }
+            }
+
+            // Special edges: frontier variables always; non-frontier
+            // universals only in the extended graph.
+            if frontier || kind == GraphKind::Extended {
+                for &to in &existential_positions {
+                    g.add_edge(from, to, true);
+                }
+            }
+        }
+    }
+}
+
+/// Outcome of an acyclicity check, carrying a witness edge when negative.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Acyclicity {
+    /// The graph has no cycle through a special edge.
+    Acyclic,
+    /// A special edge on a cycle, as dense position indices.
+    DangerousCycle {
+        /// Source position (dense index) of the witnessing special edge.
+        from: usize,
+        /// Target position (dense index) of the witnessing special edge.
+        to: usize,
+    },
+}
+
+impl Acyclicity {
+    /// `true` iff acyclic.
+    pub fn is_acyclic(self) -> bool {
+        matches!(self, Acyclicity::Acyclic)
+    }
+}
+
+/// Checks a program against the chosen dependency graph.
+pub fn check(program: &Program, kind: GraphKind) -> Acyclicity {
+    match dependency_graph(program, kind).find_special_cycle_edge() {
+        None => Acyclicity::Acyclic,
+        Some((from, to)) => Acyclicity::DangerousCycle { from, to },
+    }
+}
+
+/// Weak acyclicity: no dangerous cycle in the dependency graph.
+/// Guarantees termination of the **semi-oblivious** (and restricted) chase
+/// on all instances; on simple linear rules it is exact for the
+/// semi-oblivious chase (paper, Theorem 1).
+pub fn is_weakly_acyclic(program: &Program) -> bool {
+    check(program, GraphKind::Standard).is_acyclic()
+}
+
+/// Rich acyclicity: no dangerous cycle in the extended dependency graph.
+/// Guarantees termination of the **oblivious** chase on all instances; on
+/// simple linear rules it is exact (paper, Theorem 1).
+pub fn is_richly_acyclic(program: &Program) -> bool {
+    check(program, GraphKind::Extended).is_acyclic()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> Program {
+        Program::parse(src).unwrap()
+    }
+
+    #[test]
+    fn example1_is_not_weakly_acyclic() {
+        // person(X) -> hasFather(X, Y), person(Y): person#0 -special-> person#0
+        // via the existential Y.
+        let p = parse("person(X) -> hasFather(X, Y), person(Y).");
+        assert!(!is_weakly_acyclic(&p));
+        assert!(!is_richly_acyclic(&p));
+    }
+
+    #[test]
+    fn example2_is_not_weakly_acyclic() {
+        let p = parse("p(X, Y) -> p(Y, Z).");
+        assert!(!is_weakly_acyclic(&p));
+        assert!(!is_richly_acyclic(&p));
+    }
+
+    #[test]
+    fn classic_separator_is_wa_but_not_ra() {
+        // r(X, Y) -> r(X, Z): so-chase terminates (WA), o-chase diverges
+        // (not RA) — the non-frontier Y feeds the extended special edge.
+        let p = parse("r(X, Y) -> r(X, Z).");
+        assert!(is_weakly_acyclic(&p));
+        assert!(!is_richly_acyclic(&p));
+    }
+
+    #[test]
+    fn copy_rule_is_richly_acyclic() {
+        let p = parse("p(X, Y) -> q(X, Y).");
+        assert!(is_weakly_acyclic(&p));
+        assert!(is_richly_acyclic(&p));
+    }
+
+    #[test]
+    fn one_shot_existential_is_richly_acyclic() {
+        // p(X) -> q(X, Z); q never feeds back into p.
+        let p = parse("p(X) -> q(X, Z).");
+        assert!(is_weakly_acyclic(&p));
+        assert!(is_richly_acyclic(&p));
+    }
+
+    #[test]
+    fn two_rule_feedback_through_existential_is_dangerous() {
+        // p(X) -> q(X, Z). q(X, Z) -> p(Z): the null flows back into p#0
+        // and regenerates.
+        let p = parse("p(X) -> q(X, Z). q(X, Z) -> p(Z).");
+        assert!(!is_weakly_acyclic(&p));
+        assert!(!is_richly_acyclic(&p));
+    }
+
+    #[test]
+    fn feedback_without_null_growth_is_weakly_acyclic() {
+        // p(X) -> q(X, Z). q(X, Z) -> p(X): the null lands in q#1 which has
+        // no outgoing special path back; only X cycles (regular).
+        let p = parse("p(X) -> q(X, Z). q(X, Z) -> p(X).");
+        assert!(is_weakly_acyclic(&p));
+        // Extended graph: Z's position q#1 gains a special edge to q#1? No:
+        // the second rule has no existential. The first rule's non-frontier
+        // variables: none (X is frontier). So RA holds too.
+        assert!(is_richly_acyclic(&p));
+    }
+
+    #[test]
+    fn datalog_is_always_acyclic() {
+        let p = parse("e(X, Y) -> t(X, Y). e(X, Y), t(Y, Z) -> t(X, Z).");
+        assert!(is_weakly_acyclic(&p));
+        assert!(is_richly_acyclic(&p));
+    }
+
+    #[test]
+    fn ra_implies_wa_on_samples() {
+        // The extended graph is a supergraph, so RA ⇒ WA; spot-check a few.
+        for src in [
+            "p(X, Y) -> q(X, Y).",
+            "p(X) -> q(X, Z).",
+            "r(X, Y) -> r(X, Z).",
+            "p(X, Y) -> p(Y, Z).",
+            "a(X) -> b(X, Y). b(X, Y) -> c(Y). c(X) -> a(X).",
+        ] {
+            let p = parse(src);
+            if is_richly_acyclic(&p) {
+                assert!(is_weakly_acyclic(&p), "RA must imply WA for {src}");
+            }
+        }
+    }
+
+    #[test]
+    fn dangerous_cycle_witness_points_at_a_special_edge() {
+        let p = parse("p(X, Y) -> p(Y, Z).");
+        match check(&p, GraphKind::Standard) {
+            Acyclicity::DangerousCycle { from, to } => {
+                // Both endpoints are positions of p (the only predicate).
+                assert!(from < 2 && to < 2);
+            }
+            Acyclicity::Acyclic => panic!("expected a dangerous cycle"),
+        }
+    }
+
+    #[test]
+    fn multi_head_existential_positions_all_get_special_edges() {
+        // The existential Y occurs in two head atoms; both positions are
+        // special targets. Closing a loop through either must be caught.
+        let p = parse("p(X) -> q(X, Y), r(Y). r(Y) -> p(Y).");
+        assert!(!is_weakly_acyclic(&p));
+    }
+
+    #[test]
+    fn repeated_body_variable_contributes_all_its_positions() {
+        // p(X, X) -> q(X): edges from both p#0 and p#1.
+        let p = parse("p(X, X) -> q(X, Z). q(X, Z) -> p(Z, Z).");
+        assert!(!is_weakly_acyclic(&p));
+    }
+
+    #[test]
+    fn graph_shape_counts() {
+        let p = parse("p(X, Y) -> p(Y, Z).");
+        let g = dependency_graph(&p, GraphKind::Standard);
+        // Regular: p#1 -> p#0 (Y). Special: p#1 -> p#1 (Y feeds Z).
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 2);
+        let ge = dependency_graph(&p, GraphKind::Extended);
+        // Adds special p#0 -> p#1 (X is non-frontier universal).
+        assert_eq!(ge.edge_count(), 3);
+    }
+}

@@ -1,0 +1,195 @@
+//! Joint acyclicity (Krötzsch & Rudolph, IJCAI 2011).
+//!
+//! Joint acyclicity refines weak acyclicity by tracking, for each
+//! existential variable `z`, the set `Move(z)` of schema positions that
+//! nulls invented for `z` can ever reach, and requiring the "z's nulls
+//! participate in creating z'-nulls" relation to be acyclic.
+//!
+//! * `Move(z)` is the least set containing the head positions of `z` in its
+//!   rule and closed under propagation: for any rule `τ` and frontier
+//!   variable `y` of `τ`, if **every** body position of `y` is in `Move(z)`,
+//!   then every head position of `y` is in `Move(z)`.
+//! * The dependency graph has an edge `z → z'` iff the rule of `z'` has a
+//!   frontier variable `y` with every body position in `Move(z)` — i.e. a
+//!   null of `z` can appear in the frontier assignment of a trigger that
+//!   mints a null for `z'`.
+//!
+//! Joint acyclicity guarantees termination of the semi-oblivious (Skolem)
+//! chase and strictly generalizes weak acyclicity: the per-variable `Move`
+//! sets see that a repeated body variable cannot be filled by a null that
+//! only reaches one of its positions, which the position-level dependency
+//! graph cannot.
+
+use chasekit_core::{Program, Term, VarId};
+
+use crate::graph::DiGraph;
+use crate::position::{Position, PositionMap};
+
+/// One existential variable of the program, globally numbered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ExVar {
+    rule: usize,
+    var: VarId,
+}
+
+/// Body positions of each frontier variable of a rule.
+fn body_positions(program: &Program, rule: usize, var: VarId, map: &PositionMap) -> Vec<usize> {
+    let r = &program.rules()[rule];
+    let mut out = Vec::new();
+    for atom in r.body() {
+        for (i, t) in atom.args.iter().enumerate() {
+            if *t == Term::Var(var) {
+                out.push(map.index(Position { pred: atom.pred, index: i }));
+            }
+        }
+    }
+    out
+}
+
+fn head_positions(program: &Program, rule: usize, var: VarId, map: &PositionMap) -> Vec<usize> {
+    let r = &program.rules()[rule];
+    let mut out = Vec::new();
+    for atom in r.head() {
+        for (i, t) in atom.args.iter().enumerate() {
+            if *t == Term::Var(var) {
+                out.push(map.index(Position { pred: atom.pred, index: i }));
+            }
+        }
+    }
+    out
+}
+
+/// Computes `Move(z)` as a bitset over dense positions.
+fn move_set(program: &Program, z: ExVar, map: &PositionMap) -> Vec<bool> {
+    let mut in_move = vec![false; map.len()];
+    for p in head_positions(program, z.rule, z.var, map) {
+        in_move[p] = true;
+    }
+    // Fixpoint. Program sizes here are small; a simple loop suffices.
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for (ri, rule) in program.rules().iter().enumerate() {
+            for &y in rule.frontier() {
+                let body = body_positions(program, ri, y, map);
+                if body.is_empty() || !body.iter().all(|&p| in_move[p]) {
+                    continue;
+                }
+                for p in head_positions(program, ri, y, map) {
+                    if !in_move[p] {
+                        in_move[p] = true;
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
+    in_move
+}
+
+/// Whether the program is jointly acyclic.
+pub fn is_jointly_acyclic(program: &Program) -> bool {
+    let map = PositionMap::new(&program.vocab);
+    let mut exvars: Vec<ExVar> = Vec::new();
+    for (ri, rule) in program.rules().iter().enumerate() {
+        for &z in rule.existentials() {
+            exvars.push(ExVar { rule: ri, var: z });
+        }
+    }
+    if exvars.is_empty() {
+        return true; // Datalog: trivially jointly acyclic.
+    }
+
+    let moves: Vec<Vec<bool>> = exvars.iter().map(|&z| move_set(program, z, &map)).collect();
+
+    let mut g = DiGraph::new(exvars.len());
+    for (zi, mv) in moves.iter().enumerate() {
+        for (zj, zv) in exvars.iter().enumerate() {
+            let rule = &program.rules()[zv.rule];
+            let feeds = rule.frontier().iter().any(|&y| {
+                let body = body_positions(program, zv.rule, y, &map);
+                !body.is_empty() && body.iter().all(|&p| mv[p])
+            });
+            if feeds {
+                g.add_edge(zi, zj, false);
+            }
+        }
+    }
+    !g.has_cycle()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::depgraph::is_weakly_acyclic;
+
+    fn parse(src: &str) -> Program {
+        Program::parse(src).unwrap()
+    }
+
+    #[test]
+    fn datalog_is_jointly_acyclic() {
+        let p = parse("e(X, Y), t(Y, Z) -> t(X, Z).");
+        assert!(is_jointly_acyclic(&p));
+    }
+
+    #[test]
+    fn example1_is_not_jointly_acyclic() {
+        let p = parse("person(X) -> hasFather(X, Y), person(Y).");
+        assert!(!is_jointly_acyclic(&p));
+    }
+
+    #[test]
+    fn example2_is_not_jointly_acyclic() {
+        let p = parse("p(X, Y) -> p(Y, Z).");
+        assert!(!is_jointly_acyclic(&p));
+    }
+
+    #[test]
+    fn ja_accepts_the_repeated_variable_witness_that_wa_rejects() {
+        // s(X) -> e(X, Z). e(X, X) -> s(X).
+        // WA sees a dangerous position cycle s#0 -> e#1 -> s#0, but a null
+        // for Z only ever reaches e#1, never e#0, so the repeated-variable
+        // body e(X, X) can never consume it. JA sees this; the so-chase
+        // indeed terminates on every database.
+        let p = parse("s(X) -> e(X, Z). e(X, X) -> s(X).");
+        assert!(!is_weakly_acyclic(&p), "WA over-approximates here");
+        assert!(is_jointly_acyclic(&p), "JA is exact here");
+    }
+
+    #[test]
+    fn ja_rejects_realizable_feedback() {
+        let p = parse("s(X) -> e(X, Z). e(Y, X) -> s(X).");
+        assert!(!is_jointly_acyclic(&p));
+    }
+
+    #[test]
+    fn wa_implies_ja_on_samples() {
+        for src in [
+            "p(X, Y) -> q(X, Y).",
+            "p(X) -> q(X, Z).",
+            "r(X, Y) -> r(X, Z).",
+            "p(X, Y) -> p(Y, Z).",
+            "a(X) -> b(X, Y). b(X, Y) -> c(Y). c(X) -> a(X).",
+            "s(X) -> e(X, Z). e(X, X) -> s(X).",
+            "p(X) -> q(X, Z). q(X, Z) -> p(X).",
+        ] {
+            let p = parse(src);
+            if is_weakly_acyclic(&p) {
+                assert!(is_jointly_acyclic(&p), "WA ⇒ JA must hold for {src}");
+            }
+        }
+    }
+
+    #[test]
+    fn chain_of_existentials_without_feedback_is_ja() {
+        let p = parse("a(X) -> b(X, Y). b(X, Y) -> c(Y, Z). c(X, Y) -> d(Y).");
+        assert!(is_jointly_acyclic(&p));
+    }
+
+    #[test]
+    fn mutual_existential_feedback_is_not_ja() {
+        let p = parse("a(X) -> b(X, Y). b(X, Y) -> a(Y).");
+        assert!(!is_jointly_acyclic(&p));
+    }
+}

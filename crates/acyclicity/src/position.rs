@@ -1,0 +1,115 @@
+//! Positions: `(predicate, argument index)` pairs with dense numbering.
+//!
+//! The dependency graphs of weak/rich acyclicity have one node per schema
+//! position. This module maps positions to dense indices (offset table over
+//! the vocabulary's predicates) so graphs can use flat adjacency vectors.
+
+use chasekit_core::{PredId, Vocabulary};
+
+/// A schema position: argument slot `index` of predicate `pred`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Position {
+    /// The predicate.
+    pub pred: PredId,
+    /// Zero-based argument index.
+    pub index: usize,
+}
+
+/// Dense numbering of every position of a vocabulary.
+#[derive(Debug, Clone)]
+pub struct PositionMap {
+    offsets: Vec<usize>,
+    arities: Vec<usize>,
+    total: usize,
+}
+
+impl PositionMap {
+    /// Builds the map over all predicates of the vocabulary.
+    pub fn new(vocab: &Vocabulary) -> Self {
+        let mut offsets = Vec::with_capacity(vocab.pred_count());
+        let mut arities = Vec::with_capacity(vocab.pred_count());
+        let mut total = 0usize;
+        for p in vocab.preds() {
+            offsets.push(total);
+            let a = vocab.arity(p);
+            arities.push(a);
+            total += a;
+        }
+        PositionMap { offsets, arities, total }
+    }
+
+    /// Total number of positions.
+    pub fn len(&self) -> usize {
+        self.total
+    }
+
+    /// Whether the schema has no positions at all.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Dense index of a position.
+    #[inline]
+    pub fn index(&self, pos: Position) -> usize {
+        debug_assert!(pos.index < self.arities[pos.pred.index()]);
+        self.offsets[pos.pred.index()] + pos.index
+    }
+
+    /// Inverse of [`PositionMap::index`].
+    pub fn position(&self, dense: usize) -> Position {
+        // Binary search over offsets: the last offset <= dense.
+        let mut lo = 0usize;
+        let mut hi = self.offsets.len();
+        while lo + 1 < hi {
+            let mid = (lo + hi) / 2;
+            if self.offsets[mid] <= dense {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Position { pred: PredId::from_index(lo), index: dense - self.offsets[lo] }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chasekit_core::Program;
+
+    #[test]
+    fn dense_indices_round_trip() {
+        let p = Program::parse("p(X, Y) -> q(Y). q(X) -> r(X, Y, Z).").unwrap();
+        let map = PositionMap::new(&p.vocab);
+        assert_eq!(map.len(), 2 + 1 + 3);
+        for dense in 0..map.len() {
+            let pos = map.position(dense);
+            assert_eq!(map.index(pos), dense);
+        }
+    }
+
+    #[test]
+    fn positions_of_distinct_predicates_do_not_collide() {
+        let p = Program::parse("p(X, Y) -> q(Y).").unwrap();
+        let map = PositionMap::new(&p.vocab);
+        let pp = p.vocab.pred("p").unwrap();
+        let qq = p.vocab.pred("q").unwrap();
+        let a = map.index(Position { pred: pp, index: 1 });
+        let b = map.index(Position { pred: qq, index: 0 });
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn zero_ary_predicates_contribute_no_positions() {
+        let p = Program::parse("go -> p(X).").unwrap();
+        let map = PositionMap::new(&p.vocab);
+        assert_eq!(map.len(), 1);
+    }
+
+    #[test]
+    fn empty_vocabulary_is_empty() {
+        let p = Program::parse("").unwrap();
+        let map = PositionMap::new(&p.vocab);
+        assert!(map.is_empty());
+    }
+}

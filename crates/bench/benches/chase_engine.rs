@@ -1,0 +1,105 @@
+//! Engine micro-benchmarks: the chase itself, per variant, on the
+//! substrate workloads every experiment runs through.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use chasekit_core::{Instance, Program};
+use chasekit_engine::{chase, Budget, ChaseVariant};
+
+fn facts(program: &Program) -> Instance {
+    Instance::from_atoms(program.facts().iter().cloned())
+}
+
+/// Datalog transitive closure over a path of `n` edges: pure join/dedup
+/// throughput, no nulls.
+fn bench_transitive_closure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/transitive_closure");
+    group.sample_size(10);
+    for n in [16usize, 32, 64] {
+        let mut src = String::new();
+        for i in 0..n {
+            src.push_str(&format!("e(v{i}, v{}).\n", i + 1));
+        }
+        src.push_str("e(X, Y) -> t(X, Y). e(X, Y), t(Y, Z) -> t(X, Z).\n");
+        let program = Program::parse(&src).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &program, |b, p| {
+            b.iter(|| {
+                let r = chase(p, ChaseVariant::SemiOblivious, facts(p), &Budget::default());
+                black_box(r.instance.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+/// A diverging run cut at a fixed budget: null-minting and delta-matching
+/// throughput for each variant.
+fn bench_diverging_budgeted(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/diverging_1000_steps");
+    group.sample_size(10);
+    let program = Program::parse("p(a, b). p(X, Y) -> p(Y, Z).").unwrap();
+    for variant in [
+        ChaseVariant::Oblivious,
+        ChaseVariant::SemiOblivious,
+        ChaseVariant::Restricted,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(variant),
+            &variant,
+            |b, &variant| {
+                b.iter(|| {
+                    let r = chase(&program, variant, facts(&program), &Budget::applications(1_000));
+                    black_box(r.stats.applications)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Restricted-chase satisfaction checking on a workload with many skips.
+fn bench_restricted_satisfaction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/restricted_satisfaction");
+    group.sample_size(10);
+    let mut src = String::new();
+    for i in 0..32 {
+        src.push_str(&format!("e(u{i}, u{i}).\n"));
+    }
+    src.push_str("e(X, Y) -> e(Y, Z).\n");
+    let program = Program::parse(&src).unwrap();
+    group.bench_function("loops_32", |b| {
+        b.iter(|| {
+            let r = chase(&program, ChaseVariant::Restricted, facts(&program), &Budget::default());
+            black_box(r.stats.satisfied_skips)
+        })
+    });
+    group.finish();
+}
+
+/// The binary counter: a terminating chase of length exactly 2^k - 1.
+/// Measures sustained application throughput on constant-only workloads.
+fn bench_binary_counter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/binary_counter");
+    group.sample_size(10);
+    for k in [8usize, 10, 12] {
+        let lp = chasekit_datagen::binary_counter(k);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &lp.program, |b, p| {
+            b.iter(|| {
+                let r = chase(p, ChaseVariant::SemiOblivious, facts(p), &Budget::default());
+                assert_eq!(r.stats.applications, (1u64 << k) - 1);
+                black_box(r.instance.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_transitive_closure,
+    bench_diverging_budgeted,
+    bench_restricted_satisfaction,
+    bench_binary_counter
+);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! E6 / landscape bench: per-condition decision cost on one fixed random
+//! linear population — what each rung of the sufficient-condition ladder
+//! costs relative to the exact procedure.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use chasekit_acyclicity::{
+    is_grd_acyclic, is_jointly_acyclic, is_richly_acyclic, is_weakly_acyclic,
+};
+use chasekit_datagen::{random_linear, RandomConfig};
+use chasekit_engine::{Budget, ChaseVariant};
+use chasekit_termination::{decide_linear, mfa_status};
+
+fn bench_landscape(c: &mut Criterion) {
+    let mut group = c.benchmark_group("landscape/condition_cost");
+    group.sample_size(15);
+    let cfg = RandomConfig { constants: 1, complexity: 0.4, ..RandomConfig::default() };
+    let programs: Vec<_> = (0..20).map(|s| random_linear(&cfg, 31_000 + s)).collect();
+    let budget = Budget { max_applications: 3_000, max_atoms: 30_000 };
+
+    group.bench_function("RA", |b| {
+        b.iter(|| {
+            black_box(programs.iter().filter(|p| is_richly_acyclic(p)).count())
+        })
+    });
+    group.bench_function("WA", |b| {
+        b.iter(|| {
+            black_box(programs.iter().filter(|p| is_weakly_acyclic(p)).count())
+        })
+    });
+    group.bench_function("JA", |b| {
+        b.iter(|| {
+            black_box(programs.iter().filter(|p| is_jointly_acyclic(p)).count())
+        })
+    });
+    group.bench_function("aGRD", |b| {
+        b.iter(|| black_box(programs.iter().filter(|p| is_grd_acyclic(p)).count()))
+    });
+    group.bench_function("MFA", |b| {
+        b.iter(|| {
+            black_box(
+                programs
+                    .iter()
+                    .filter(|p| mfa_status(p, &budget).is_mfa() == Some(true))
+                    .count(),
+            )
+        })
+    });
+    group.bench_function("exact_CT_so", |b| {
+        b.iter(|| {
+            black_box(
+                programs
+                    .iter()
+                    .filter(|p| {
+                        decide_linear(p, ChaseVariant::SemiOblivious, false)
+                            .unwrap()
+                            .terminates
+                    })
+                    .count(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_landscape);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! E5 / looping-operator bench: the termination checker effectively
+//! performs entailment, so decision time grows with the entailment depth.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use chasekit_engine::ChaseVariant;
+use chasekit_termination::{chain_instance, decide_guarded, GuardedConfig};
+
+fn bench_looping(c: &mut Criterion) {
+    let mut group = c.benchmark_group("looping/chain_depth");
+    group.sample_size(10);
+    for depth in [4usize, 16, 64] {
+        for entailed in [true, false] {
+            let looped = chain_instance(depth, entailed).looped().unwrap();
+            let label = format!("{}-{}", depth, if entailed { "entailed" } else { "unentailed" });
+            group.bench_with_input(BenchmarkId::from_parameter(label), &looped, |b, p| {
+                b.iter(|| {
+                    let r =
+                        decide_guarded(p, GuardedConfig::new(ChaseVariant::SemiOblivious))
+                            .unwrap();
+                    black_box(r.verdict.terminates())
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_looping);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! E7 / future-work bench: the exact restricted-chase decision for
+//! single-head linear rule sets (start-shape enumeration + suppressed
+//! shape graphs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use chasekit_datagen::{random_simple_linear, RandomConfig};
+use chasekit_termination::{
+    is_single_head_linear, single_head_linear_restricted_terminates,
+};
+
+fn bench_restricted(c: &mut Criterion) {
+    let mut group = c.benchmark_group("restricted_linear");
+    group.sample_size(15);
+    for rules in [2usize, 4, 8] {
+        let cfg = RandomConfig {
+            predicates: rules * 2,
+            rules,
+            max_arity: 2,
+            max_head_atoms: 1,
+            ..RandomConfig::default()
+        };
+        // Collect in-class programs.
+        let programs: Vec<_> = (0..200u64)
+            .map(|s| random_simple_linear(&cfg, 64_000 + s))
+            .filter(is_single_head_linear)
+            .take(10)
+            .collect();
+        assert!(!programs.is_empty(), "population too thin at {rules} rules");
+        group.bench_with_input(BenchmarkId::from_parameter(rules), &programs, |b, ps| {
+            b.iter(|| {
+                let mut terminating = 0u32;
+                for p in ps {
+                    terminating +=
+                        single_head_linear_restricted_terminates(p).unwrap() as u32;
+                }
+                black_box(terminating)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_restricted);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! E1 / Theorem 1 bench: cost of the exact CT decision vs plain WA/RA on
+//! simple linear rule sets. The theorem says they coincide; the bench
+//! shows what the exactness costs (shape exploration vs one graph pass).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use chasekit_acyclicity::{is_richly_acyclic, is_weakly_acyclic};
+use chasekit_datagen::{random_simple_linear, RandomConfig};
+use chasekit_engine::ChaseVariant;
+use chasekit_termination::decide_linear;
+
+fn bench_thm1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thm1_sl");
+    group.sample_size(20);
+    for rules in [4usize, 16, 64] {
+        let cfg = RandomConfig {
+            predicates: rules.max(2),
+            rules,
+            max_arity: 2,
+            ..RandomConfig::default()
+        };
+        let programs: Vec<_> = (0..10).map(|s| random_simple_linear(&cfg, s)).collect();
+
+        group.bench_with_input(BenchmarkId::new("weak_acyclicity", rules), &programs, |b, ps| {
+            b.iter(|| {
+                let mut acc = 0u32;
+                for p in ps {
+                    acc += is_weakly_acyclic(p) as u32;
+                }
+                black_box(acc)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("rich_acyclicity", rules), &programs, |b, ps| {
+            b.iter(|| {
+                let mut acc = 0u32;
+                for p in ps {
+                    acc += is_richly_acyclic(p) as u32;
+                }
+                black_box(acc)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("exact_ct_so", rules), &programs, |b, ps| {
+            b.iter(|| {
+                let mut acc = 0u32;
+                for p in ps {
+                    acc += decide_linear(p, ChaseVariant::SemiOblivious, false)
+                        .unwrap()
+                        .terminates as u32;
+                }
+                black_box(acc)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("exact_ct_o", rules), &programs, |b, ps| {
+            b.iter(|| {
+                let mut acc = 0u32;
+                for p in ps {
+                    acc += decide_linear(p, ChaseVariant::Oblivious, false).unwrap().terminates
+                        as u32;
+                }
+                black_box(acc)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_thm1);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! E2 / Theorem 2 bench: the critical (shape-refined) acyclicity decision
+//! on linear rule sets with repeated variables and constants, including the
+//! gap family that plain WA/RA misclassify.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use chasekit_datagen::{critical_gap, random_linear, RandomConfig};
+use chasekit_engine::ChaseVariant;
+use chasekit_termination::{decide_linear, LinearAnalysis};
+
+fn bench_gap_family(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thm2_linear/gap_family");
+    group.sample_size(20);
+    for n in [1usize, 4, 16] {
+        let lp = critical_gap(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &lp.program, |b, p| {
+            b.iter(|| {
+                let d = decide_linear(p, ChaseVariant::SemiOblivious, false).unwrap();
+                black_box(d.terminates)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_random_linear(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thm2_linear/random");
+    group.sample_size(20);
+    let cfg = RandomConfig { constants: 2, complexity: 0.45, ..RandomConfig::default() };
+    let programs: Vec<_> = (0..20).map(|s| random_linear(&cfg, s)).collect();
+    group.bench_function("decide_20_sets", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for p in &programs {
+                acc += decide_linear(p, ChaseVariant::SemiOblivious, false)
+                    .unwrap()
+                    .terminates as u32;
+            }
+            black_box(acc)
+        })
+    });
+    // Separate exploration cost from the cycle check.
+    group.bench_function("explore_only_20_sets", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for p in &programs {
+                acc += LinearAnalysis::explore(p, false).unwrap().shape_count();
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gap_family, bench_random_linear);
+criterion_main!(benches);

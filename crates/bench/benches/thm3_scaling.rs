@@ -1,0 +1,51 @@
+//! E3 / Theorem 3 bench: the two complexity regimes of the linear decision
+//! procedure — polynomial in the rule count at fixed arity, exponential in
+//! the arity (the NL vs PSPACE separation, measured).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use chasekit_datagen::{random_simple_linear, wide_terminating, RandomConfig};
+use chasekit_engine::ChaseVariant;
+use chasekit_termination::decide_linear;
+
+fn bench_rules_series(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thm3/rules_at_arity2");
+    group.sample_size(15);
+    for rules in [8usize, 32, 128] {
+        let cfg = RandomConfig {
+            predicates: rules.max(2),
+            rules,
+            max_arity: 2,
+            ..RandomConfig::default()
+        };
+        let program = random_simple_linear(&cfg, 12345);
+        group.bench_with_input(BenchmarkId::from_parameter(rules), &program, |b, p| {
+            b.iter(|| {
+                black_box(
+                    decide_linear(p, ChaseVariant::SemiOblivious, false).unwrap().terminates,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_arity_series(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thm3/arity_wide_register");
+    group.sample_size(10);
+    for arity in [3usize, 5, 7] {
+        let lp = wide_terminating(arity);
+        group.bench_with_input(BenchmarkId::from_parameter(arity), &lp.program, |b, p| {
+            b.iter(|| {
+                black_box(
+                    decide_linear(p, ChaseVariant::SemiOblivious, false).unwrap().shapes,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rules_series, bench_arity_series);
+criterion_main!(benches);

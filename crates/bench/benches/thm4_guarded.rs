@@ -1,0 +1,58 @@
+//! E4 / Theorem 4 bench: the guarded decision procedure — population cost
+//! per variant and the arity scaling of the pumping search.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use chasekit_datagen::{random_guarded, RandomConfig};
+use chasekit_engine::ChaseVariant;
+use chasekit_termination::{decide_guarded, GuardedConfig};
+
+fn bench_population(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thm4_guarded/population");
+    group.sample_size(10);
+    let cfg = RandomConfig::default();
+    let programs: Vec<_> = (0..10).map(|s| random_guarded(&cfg, s)).collect();
+    for variant in [ChaseVariant::SemiOblivious, ChaseVariant::Oblivious] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(variant),
+            &variant,
+            |b, &variant| {
+                b.iter(|| {
+                    let mut decided = 0u32;
+                    for p in &programs {
+                        let r = decide_guarded(p, GuardedConfig::new(variant)).unwrap();
+                        decided += r.verdict.terminates().is_some() as u32;
+                    }
+                    black_box(decided)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_arity_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thm4_guarded/arity");
+    group.sample_size(10);
+    for arity in [2usize, 3, 4] {
+        let cfg = RandomConfig { max_arity: arity, ..RandomConfig::default() };
+        let programs: Vec<_> = (0..5).map(|s| random_guarded(&cfg, 777 + s)).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(arity), &programs, |b, ps| {
+            b.iter(|| {
+                let mut decided = 0u32;
+                for p in ps {
+                    let r =
+                        decide_guarded(p, GuardedConfig::new(ChaseVariant::SemiOblivious))
+                            .unwrap();
+                    decided += r.verdict.terminates().is_some() as u32;
+                }
+                black_box(decided)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_population, bench_arity_scaling);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! E5 — the looping operator: the paper's lower-bound technique as an
+//! executable reduction.
+//!
+//! For entailment chains of growing depth, the looped rule set diverges iff
+//! the goal is entailed, and any correct termination checker must in effect
+//! perform the entailment — visible as decision time growing with the chain
+//! depth. The table reports, per depth: the verdicts for the entailed and
+//! unentailed variants (which must be `diverges` / `terminates`
+//! respectively) and the decision times.
+
+use chasekit_datagen as _;
+use chasekit_engine::{Budget, ChaseVariant};
+use chasekit_termination::{chain_instance, decide_guarded, GuardedConfig};
+
+use crate::exp::{timed, verdict_str};
+use crate::table::Table;
+
+/// E5 parameters.
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// Chain depths to test.
+    pub depths: Vec<usize>,
+    /// Decision fuel.
+    pub fuel: Budget,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            depths: vec![1, 2, 4, 8, 16, 32, 64],
+            fuel: Budget { max_applications: 50_000, max_atoms: 500_000 },
+        }
+    }
+}
+
+/// E5 outcome counters.
+#[derive(Debug, Default)]
+pub struct Outcome {
+    /// Depths where the checker's answer differed from the entailment
+    /// ground truth (must be zero).
+    pub mismatches: u64,
+}
+
+/// Runs E5.
+pub fn run(params: &Params) -> (Table, Outcome) {
+    let mut outcome = Outcome::default();
+    let mut table = Table::new(
+        "E5 / looping operator: termination <=> non-entailment (chain family)",
+        &[
+            "depth",
+            "entailed verdict",
+            "entailed time (us)",
+            "unentailed verdict",
+            "unentailed time (us)",
+        ],
+    );
+    for &depth in &params.depths {
+        let mut cells: Vec<String> = vec![depth.to_string()];
+        for entailed in [true, false] {
+            let prop = chain_instance(depth, entailed);
+            debug_assert_eq!(prop.entails_goal(), entailed);
+            let looped = prop.looped().expect("looping operator output is valid");
+            let mut cfg = GuardedConfig::new(ChaseVariant::SemiOblivious);
+            cfg.max_applications = params.fuel.max_applications;
+            cfg.max_atoms = params.fuel.max_atoms;
+            let (report, us) =
+                timed(|| decide_guarded(&looped, cfg).expect("looped sets are guarded"));
+            let claim = report.verdict.terminates();
+            // Diverges iff entailed.
+            if claim != Some(!entailed) {
+                outcome.mismatches += 1;
+            }
+            cells.push(verdict_str(claim).to_string());
+            cells.push(us.to_string());
+        }
+        table.row(&cells);
+    }
+    (table, outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn looping_reduction_is_faithful_at_all_depths() {
+        let params = Params { depths: vec![1, 3, 9], ..Default::default() };
+        let (_, outcome) = run(&params);
+        assert_eq!(outcome.mismatches, 0);
+    }
+}

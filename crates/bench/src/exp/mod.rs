@@ -1,0 +1,57 @@
+//! The experiment suite: one module per paper artifact. See DESIGN.md's
+//! per-experiment index and EXPERIMENTS.md for paper-vs-measured records.
+
+pub mod e0_examples;
+pub mod e1_simple_linear;
+pub mod e2_linear;
+pub mod e3_scaling;
+pub mod e4_guarded;
+pub mod e5_looping;
+pub mod e6_landscape;
+pub mod e7_restricted;
+
+use std::time::Instant;
+
+/// Times a closure, returning (result, elapsed microseconds).
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, u128) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_micros())
+}
+
+/// Median of a slice of microsecond timings (0 for empty input).
+pub fn median_us(mut xs: Vec<u128>) -> u128 {
+    if xs.is_empty() {
+        return 0;
+    }
+    xs.sort_unstable();
+    xs[xs.len() / 2]
+}
+
+/// Renders an `Option<bool>` termination verdict.
+pub fn verdict_str(v: Option<bool>) -> &'static str {
+    match v {
+        Some(true) => "terminates",
+        Some(false) => "diverges",
+        None => "unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_handles_edges() {
+        assert_eq!(median_us(vec![]), 0);
+        assert_eq!(median_us(vec![5]), 5);
+        assert_eq!(median_us(vec![3, 1, 2]), 2);
+    }
+
+    #[test]
+    fn verdict_strings() {
+        assert_eq!(verdict_str(Some(true)), "terminates");
+        assert_eq!(verdict_str(Some(false)), "diverges");
+        assert_eq!(verdict_str(None), "unknown");
+    }
+}

@@ -1,0 +1,80 @@
+//! Strongly-typed integer identifiers used throughout the workspace.
+//!
+//! Everything in the data model is interned down to a `u32`: predicate names,
+//! constants, per-rule variables, and chase-generated nulls. Using newtyped
+//! ids instead of strings keeps atoms `Copy`-cheap and makes hash tables fast
+//! (see `fxhash`).
+
+/// Declares a `u32`-backed id type with the usual conversions.
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Builds the id from a `usize` index, panicking on overflow.
+            #[inline]
+            pub fn from_index(i: usize) -> Self {
+                debug_assert!(i <= u32::MAX as usize);
+                $name(i as u32)
+            }
+
+            /// Returns the id as a `usize` index.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl From<$name> for usize {
+            #[inline]
+            fn from(id: $name) -> usize {
+                id.index()
+            }
+        }
+    };
+}
+
+id_type!(
+    /// An interned string (predicate, constant, or variable name).
+    Symbol
+);
+id_type!(
+    /// A predicate, resolved against a [`crate::Vocabulary`].
+    PredId
+);
+id_type!(
+    /// A constant, resolved against a [`crate::Vocabulary`].
+    ConstId
+);
+id_type!(
+    /// A variable, scoped to a single rule (see [`crate::Tgd`]).
+    VarId
+);
+id_type!(
+    /// A labeled null, scoped to a single [`crate::Instance`].
+    NullId
+);
+id_type!(
+    /// An atom stored in an [`crate::Instance`] arena.
+    AtomId
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_through_usize() {
+        let id = PredId::from_index(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(usize::from(id), 42);
+    }
+
+    #[test]
+    fn ordering_follows_the_underlying_integer() {
+        assert!(NullId(3) < NullId(7));
+        assert_eq!(AtomId(5), AtomId(5));
+    }
+}

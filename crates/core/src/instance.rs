@@ -1,0 +1,260 @@
+//! Instances: indexed, deduplicated stores of ground atoms.
+//!
+//! The chase spends nearly all its time matching rule bodies against the
+//! instance, so the store maintains two access paths besides the arena:
+//!
+//! * `(predicate, position, term)` postings — the selective index the
+//!   homomorphism matcher uses for bound positions;
+//! * per-null postings — what the guarded termination procedure uses to
+//!   assemble "clouds" (all atoms over a given term set).
+//!
+//! Atom ids are dense and monotone: `AtomId(i)` was inserted before
+//! `AtomId(j)` whenever `i < j`. The same holds for null ids. The
+//! termination procedures rely on both orders as birth timestamps.
+
+use crate::atom::Atom;
+use crate::fxhash::FxHashMap;
+use crate::ids::{AtomId, NullId, PredId};
+use crate::term::Term;
+
+/// An indexed, deduplicated set of ground atoms.
+#[derive(Debug, Default, Clone)]
+pub struct Instance {
+    atoms: Vec<Atom>,
+    index: FxHashMap<Atom, AtomId>,
+    by_pred: FxHashMap<PredId, Vec<AtomId>>,
+    by_pred_pos_term: FxHashMap<(PredId, u32, Term), Vec<AtomId>>,
+    by_null: FxHashMap<NullId, Vec<AtomId>>,
+    next_null: u32,
+}
+
+impl Instance {
+    /// Creates an empty instance.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds an instance from ground atoms (e.g. a program's facts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any atom is not ground.
+    pub fn from_atoms<I: IntoIterator<Item = Atom>>(atoms: I) -> Self {
+        let mut inst = Instance::new();
+        for a in atoms {
+            assert!(a.is_ground(), "instance atoms must be ground");
+            inst.insert(a);
+        }
+        inst
+    }
+
+    /// Inserts an atom; returns its id and whether it was new.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the atom is not ground.
+    pub fn insert(&mut self, atom: Atom) -> (AtomId, bool) {
+        debug_assert!(atom.is_ground(), "instance atoms must be ground");
+        if let Some(&id) = self.index.get(&atom) {
+            return (id, false);
+        }
+        let id = AtomId::from_index(self.atoms.len());
+        self.by_pred.entry(atom.pred).or_default().push(id);
+        for (pos, &t) in atom.args.iter().enumerate() {
+            self.by_pred_pos_term
+                .entry((atom.pred, pos as u32, t))
+                .or_default()
+                .push(id);
+            if let Term::Null(n) = t {
+                // Track the null high-water mark so fresh nulls never collide
+                // with nulls imported via `from_atoms`.
+                if n.0 >= self.next_null {
+                    self.next_null = n.0 + 1;
+                }
+                let posting = self.by_null.entry(n).or_default();
+                if posting.last() != Some(&id) {
+                    posting.push(id);
+                }
+            }
+        }
+        self.index.insert(atom.clone(), id);
+        self.atoms.push(atom);
+        (id, true)
+    }
+
+    /// Mints a fresh null, distinct from every null seen so far.
+    pub fn fresh_null(&mut self) -> NullId {
+        let n = NullId(self.next_null);
+        self.next_null += 1;
+        n
+    }
+
+    /// Number of nulls minted or imported.
+    pub fn null_count(&self) -> usize {
+        self.next_null as usize
+    }
+
+    /// Whether the instance contains the atom.
+    pub fn contains(&self, atom: &Atom) -> bool {
+        self.index.contains_key(atom)
+    }
+
+    /// Looks up an atom's id.
+    pub fn id_of(&self, atom: &Atom) -> Option<AtomId> {
+        self.index.get(atom).copied()
+    }
+
+    /// Resolves an id to its atom.
+    #[inline]
+    pub fn atom(&self, id: AtomId) -> &Atom {
+        &self.atoms[id.index()]
+    }
+
+    /// Number of atoms.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Whether the instance is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    /// Iterates over all atoms in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (AtomId, &Atom)> {
+        self.atoms
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (AtomId::from_index(i), a))
+    }
+
+    /// Ids of atoms with the given predicate, in insertion order.
+    pub fn with_pred(&self, pred: PredId) -> &[AtomId] {
+        self.by_pred.get(&pred).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Ids of atoms with `term` at `pos` of `pred`, in insertion order.
+    pub fn with_pred_pos_term(&self, pred: PredId, pos: usize, term: Term) -> &[AtomId] {
+        self.by_pred_pos_term
+            .get(&(pred, pos as u32, term))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Ids of atoms mentioning the given null, in insertion order
+    /// (deduplicated).
+    pub fn with_null(&self, null: NullId) -> &[AtomId] {
+        self.by_null.get(&null).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// All distinct terms of the atom set (order unspecified).
+    pub fn terms(&self) -> Vec<Term> {
+        let mut seen = crate::fxhash::FxHashSet::default();
+        let mut out = Vec::new();
+        for a in &self.atoms {
+            for &t in &a.args {
+                if seen.insert(t) {
+                    out.push(t);
+                }
+            }
+        }
+        out
+    }
+}
+
+impl FromIterator<Atom> for Instance {
+    fn from_iter<I: IntoIterator<Item = Atom>>(iter: I) -> Self {
+        Instance::from_atoms(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ConstId;
+
+    fn c(i: u32) -> Term {
+        Term::Const(ConstId(i))
+    }
+    fn n(i: u32) -> Term {
+        Term::Null(NullId(i))
+    }
+    fn atom(p: u32, args: Vec<Term>) -> Atom {
+        Atom::new(PredId(p), args)
+    }
+
+    #[test]
+    fn insert_deduplicates() {
+        let mut inst = Instance::new();
+        let (id1, new1) = inst.insert(atom(0, vec![c(0), c(1)]));
+        let (id2, new2) = inst.insert(atom(0, vec![c(0), c(1)]));
+        assert_eq!(id1, id2);
+        assert!(new1 && !new2);
+        assert_eq!(inst.len(), 1);
+    }
+
+    #[test]
+    fn ids_are_monotone_in_insertion_order() {
+        let mut inst = Instance::new();
+        let (a, _) = inst.insert(atom(0, vec![c(0)]));
+        let (b, _) = inst.insert(atom(0, vec![c(1)]));
+        assert!(a < b);
+    }
+
+    #[test]
+    fn position_index_finds_atoms() {
+        let mut inst = Instance::new();
+        inst.insert(atom(0, vec![c(0), c(1)]));
+        inst.insert(atom(0, vec![c(0), c(2)]));
+        inst.insert(atom(0, vec![c(3), c(1)]));
+        inst.insert(atom(1, vec![c(0), c(1)]));
+        assert_eq!(inst.with_pred_pos_term(PredId(0), 0, c(0)).len(), 2);
+        assert_eq!(inst.with_pred_pos_term(PredId(0), 1, c(1)).len(), 2);
+        assert_eq!(inst.with_pred_pos_term(PredId(1), 0, c(0)).len(), 1);
+        assert_eq!(inst.with_pred_pos_term(PredId(2), 0, c(0)).len(), 0);
+        assert_eq!(inst.with_pred(PredId(0)).len(), 3);
+    }
+
+    #[test]
+    fn fresh_nulls_avoid_imported_ones() {
+        let mut inst = Instance::new();
+        inst.insert(atom(0, vec![n(5)]));
+        let fresh = inst.fresh_null();
+        assert!(fresh.0 > 5);
+        let fresh2 = inst.fresh_null();
+        assert_ne!(fresh, fresh2);
+    }
+
+    #[test]
+    fn null_postings_deduplicate_within_an_atom() {
+        let mut inst = Instance::new();
+        inst.insert(atom(0, vec![n(0), n(0)]));
+        inst.insert(atom(1, vec![n(0)]));
+        assert_eq!(inst.with_null(NullId(0)).len(), 2);
+    }
+
+    #[test]
+    fn terms_are_collected_once() {
+        let mut inst = Instance::new();
+        inst.insert(atom(0, vec![c(0), n(1)]));
+        inst.insert(atom(1, vec![c(0)]));
+        let mut ts = inst.terms();
+        ts.sort();
+        assert_eq!(ts, vec![c(0), n(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ground")]
+    fn non_ground_atoms_panic() {
+        let mut inst = Instance::new();
+        inst.insert(atom(0, vec![Term::Var(crate::ids::VarId(0))]));
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let inst: Instance = vec![atom(0, vec![c(0)]), atom(0, vec![c(1)])].into_iter().collect();
+        assert_eq!(inst.len(), 2);
+    }
+}

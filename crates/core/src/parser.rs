@@ -1,0 +1,531 @@
+//! Parser for the textual rule format.
+//!
+//! # Grammar
+//!
+//! ```text
+//! program  := item*
+//! item     := rule | fact
+//! rule     := conj "->" conj "."
+//! fact     := atom "."
+//! conj     := atom ("," atom)*
+//! atom     := ident [ "(" term ("," term)* ")" ]
+//! term     := VARIABLE | constant
+//! ```
+//!
+//! * Identifiers starting with an uppercase letter (or `_`) are **variables**;
+//!   `_` alone is an anonymous variable, fresh at each occurrence.
+//! * Identifiers starting with a lowercase letter or digit, numbers, and
+//!   single-quoted strings are **constants**.
+//! * Variables occurring only in a rule head are existentially quantified.
+//! * Comments run from `%`, `#`, or `//` to end of line.
+//! * A bare identifier without parentheses is a zero-ary atom.
+//!
+//! # Example
+//!
+//! ```
+//! use chasekit_core::Program;
+//!
+//! let program = Program::parse(
+//!     r#"
+//!     % Example 1 of the paper: every person has a father who is a person.
+//!     person(X) -> hasFather(X, Y), person(Y).
+//!     person(bob).
+//!     "#,
+//! )
+//! .unwrap();
+//! assert_eq!(program.rules().len(), 1);
+//! assert_eq!(program.facts().len(), 1);
+//! ```
+
+use crate::atom::Atom;
+use crate::error::{CoreError, ParseError};
+use crate::ids::VarId;
+use crate::program::Program;
+use crate::rule::{Quantifier, Tgd, VarInfo};
+use crate::term::Term;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Quoted(String),
+    LParen,
+    RParen,
+    Comma,
+    Arrow,
+    Dot,
+    Eof,
+}
+
+#[derive(Debug, Clone)]
+struct Token {
+    tok: Tok,
+    line: usize,
+    col: usize,
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+    col: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer { src: src.as_bytes(), pos: 0, line: 1, col: 1 }
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = *self.src.get(self.pos)?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError { line: self.line, col: self.col, message: message.into() }
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(b) if b.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'%') | Some(b'#') => {
+                    while let Some(b) = self.peek() {
+                        if b == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(b) = self.peek() {
+                        if b == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Token, ParseError> {
+        self.skip_trivia();
+        let (line, col) = (self.line, self.col);
+        let mk = |tok| Token { tok, line, col };
+        let Some(b) = self.peek() else {
+            return Ok(mk(Tok::Eof));
+        };
+        match b {
+            b'(' => {
+                self.bump();
+                Ok(mk(Tok::LParen))
+            }
+            b')' => {
+                self.bump();
+                Ok(mk(Tok::RParen))
+            }
+            b',' => {
+                self.bump();
+                Ok(mk(Tok::Comma))
+            }
+            b'.' => {
+                self.bump();
+                Ok(mk(Tok::Dot))
+            }
+            b'-' => {
+                self.bump();
+                if self.peek() == Some(b'>') {
+                    self.bump();
+                    Ok(mk(Tok::Arrow))
+                } else {
+                    Err(ParseError { line, col, message: "expected `->`".into() })
+                }
+            }
+            b'\'' => {
+                self.bump();
+                let mut s = String::new();
+                loop {
+                    match self.bump() {
+                        Some(b'\'') => break,
+                        Some(c) => s.push(c as char),
+                        None => {
+                            return Err(ParseError {
+                                line,
+                                col,
+                                message: "unterminated quoted constant".into(),
+                            })
+                        }
+                    }
+                }
+                Ok(mk(Tok::Quoted(s)))
+            }
+            b if b.is_ascii_alphanumeric() || b == b'_' => {
+                let mut s = String::new();
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_alphanumeric() || c == b'_' {
+                        s.push(c as char);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                Ok(mk(Tok::Ident(s)))
+            }
+            other => Err(self.error(format!("unexpected character `{}`", other as char))),
+        }
+    }
+}
+
+struct Parser<'a> {
+    lexer: Lexer<'a>,
+    lookahead: Token,
+    program: Program,
+}
+
+/// A pre-validation atom: predicate name + raw terms (variables by name).
+#[derive(Debug)]
+enum RawTerm {
+    Var(String),
+    Anon,
+    Const(String),
+}
+
+#[derive(Debug)]
+struct RawAtom {
+    pred: String,
+    args: Vec<RawTerm>,
+    line: usize,
+    col: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> Result<Self, ParseError> {
+        let mut lexer = Lexer::new(src);
+        let lookahead = lexer.next_token()?;
+        Ok(Parser { lexer, lookahead, program: Program::new() })
+    }
+
+    fn advance(&mut self) -> Result<Token, ParseError> {
+        let next = self.lexer.next_token()?;
+        Ok(std::mem::replace(&mut self.lookahead, next))
+    }
+
+    fn expect(&mut self, tok: Tok, what: &str) -> Result<Token, ParseError> {
+        if self.lookahead.tok == tok {
+            self.advance()
+        } else {
+            Err(self.unexpected(what))
+        }
+    }
+
+    fn unexpected(&self, what: &str) -> ParseError {
+        ParseError {
+            line: self.lookahead.line,
+            col: self.lookahead.col,
+            message: format!("expected {what}, found {:?}", self.lookahead.tok),
+        }
+    }
+
+    fn parse_atom(&mut self) -> Result<RawAtom, ParseError> {
+        let (line, col) = (self.lookahead.line, self.lookahead.col);
+        let name = match &self.lookahead.tok {
+            Tok::Ident(s) => s.clone(),
+            _ => return Err(self.unexpected("a predicate name")),
+        };
+        self.advance()?;
+        let mut args = Vec::new();
+        if self.lookahead.tok == Tok::LParen {
+            self.advance()?;
+            if self.lookahead.tok != Tok::RParen {
+                loop {
+                    args.push(self.parse_term()?);
+                    if self.lookahead.tok == Tok::Comma {
+                        self.advance()?;
+                    } else {
+                        break;
+                    }
+                }
+            }
+            self.expect(Tok::RParen, "`)`")?;
+        }
+        Ok(RawAtom { pred: name, args, line, col })
+    }
+
+    fn parse_term(&mut self) -> Result<RawTerm, ParseError> {
+        match &self.lookahead.tok {
+            Tok::Ident(s) => {
+                let s = s.clone();
+                self.advance()?;
+                let first = s.as_bytes()[0];
+                if s == "_" {
+                    Ok(RawTerm::Anon)
+                } else if first.is_ascii_uppercase() || first == b'_' {
+                    Ok(RawTerm::Var(s))
+                } else {
+                    Ok(RawTerm::Const(s))
+                }
+            }
+            Tok::Quoted(s) => {
+                let s = s.clone();
+                self.advance()?;
+                Ok(RawTerm::Const(s))
+            }
+            _ => Err(self.unexpected("a term")),
+        }
+    }
+
+    fn parse_conj(&mut self) -> Result<Vec<RawAtom>, ParseError> {
+        let mut atoms = vec![self.parse_atom()?];
+        while self.lookahead.tok == Tok::Comma {
+            self.advance()?;
+            atoms.push(self.parse_atom()?);
+        }
+        Ok(atoms)
+    }
+
+    /// Resolves raw atoms into real atoms, declaring predicates/constants and
+    /// interning variables into `vars` (appending new ones).
+    fn resolve(
+        &mut self,
+        raw: Vec<RawAtom>,
+        vars: &mut Vec<String>,
+        anon_counter: &mut usize,
+    ) -> Result<Vec<Atom>, CoreError> {
+        let mut out = Vec::with_capacity(raw.len());
+        for ra in raw {
+            let pred = self.program.vocab.declare_pred(&ra.pred, ra.args.len())?;
+            let mut args = Vec::with_capacity(ra.args.len());
+            for rt in ra.args {
+                let term = match rt {
+                    RawTerm::Var(name) => {
+                        let id = match vars.iter().position(|v| *v == name) {
+                            Some(i) => i,
+                            None => {
+                                vars.push(name);
+                                vars.len() - 1
+                            }
+                        };
+                        Term::Var(VarId::from_index(id))
+                    }
+                    RawTerm::Anon => {
+                        *anon_counter += 1;
+                        vars.push(format!("_A{}", *anon_counter));
+                        Term::Var(VarId::from_index(vars.len() - 1))
+                    }
+                    RawTerm::Const(name) => Term::Const(self.program.vocab.intern_const(&name)),
+                };
+                args.push(term);
+            }
+            let _ = (ra.line, ra.col);
+            out.push(Atom::new(pred, args));
+        }
+        Ok(out)
+    }
+
+    fn parse_item(&mut self) -> Result<(), CoreError> {
+        let first = self.parse_conj().map_err(CoreError::Parse)?;
+        match self.lookahead.tok {
+            Tok::Arrow => {
+                self.advance().map_err(CoreError::Parse)?;
+                let head_raw = self.parse_conj().map_err(CoreError::Parse)?;
+                self.expect(Tok::Dot, "`.`").map_err(CoreError::Parse)?;
+
+                let mut vars = Vec::new();
+                let mut anon = 0usize;
+                let body = self.resolve(first, &mut vars, &mut anon)?;
+                let head = self.resolve(head_raw, &mut vars, &mut anon)?;
+
+                let mut in_body = vec![false; vars.len()];
+                for a in &body {
+                    for v in a.vars() {
+                        in_body[v.index()] = true;
+                    }
+                }
+                let infos: Vec<VarInfo> = vars
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, name)| VarInfo {
+                        name,
+                        quantifier: if in_body[i] {
+                            Quantifier::Universal
+                        } else {
+                            Quantifier::Existential
+                        },
+                    })
+                    .collect();
+                let rule = Tgd::new(body, head, infos)?;
+                self.program.add_rule(rule)?;
+                Ok(())
+            }
+            Tok::Dot => {
+                self.advance().map_err(CoreError::Parse)?;
+                let mut vars = Vec::new();
+                let mut anon = 0usize;
+                let atoms = self.resolve(first, &mut vars, &mut anon)?;
+                for atom in atoms {
+                    self.program.add_fact(atom)?;
+                }
+                Ok(())
+            }
+            _ => Err(CoreError::Parse(self.unexpected("`->` or `.`"))),
+        }
+    }
+
+    fn parse_program(mut self) -> Result<Program, CoreError> {
+        while self.lookahead.tok != Tok::Eof {
+            self.parse_item()?;
+        }
+        Ok(self.program)
+    }
+}
+
+/// Parses a full program.
+pub fn parse_program(text: &str) -> Result<Program, CoreError> {
+    Parser::new(text).map_err(CoreError::Parse)?.parse_program()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rule::RuleClass;
+
+    #[test]
+    fn parses_example1() {
+        let p = Program::parse("person(X) -> hasFather(X, Y), person(Y). person(bob).").unwrap();
+        assert_eq!(p.rules().len(), 1);
+        assert_eq!(p.facts().len(), 1);
+        let r = &p.rules()[0];
+        assert_eq!(r.frontier().len(), 1);
+        assert_eq!(r.existentials().len(), 1);
+        assert_eq!(p.class(), RuleClass::SimpleLinear);
+    }
+
+    #[test]
+    fn parses_example2() {
+        let p = Program::parse("p(a, b). p(X, Y) -> p(Y, Z).").unwrap();
+        assert_eq!(p.rules().len(), 1);
+        assert_eq!(p.facts().len(), 1);
+        assert_eq!(p.class(), RuleClass::SimpleLinear);
+    }
+
+    #[test]
+    fn variables_vs_constants_by_case() {
+        let p = Program::parse("p(X, alice) -> q(X).").unwrap();
+        let r = &p.rules()[0];
+        assert_eq!(r.body()[0].vars().len(), 1);
+        assert_eq!(p.vocab.const_count(), 1);
+        assert!(p.vocab.constant("alice").is_some());
+    }
+
+    #[test]
+    fn quoted_and_numeric_constants() {
+        let p = Program::parse("p('Hello World', 42).").unwrap();
+        assert!(p.vocab.constant("Hello World").is_some());
+        assert!(p.vocab.constant("42").is_some());
+    }
+
+    #[test]
+    fn zero_ary_atoms_with_and_without_parens() {
+        let p = Program::parse("start() -> go. go -> done().").unwrap();
+        assert_eq!(p.rules().len(), 2);
+        assert_eq!(p.vocab.arity(p.vocab.pred("go").unwrap()), 0);
+    }
+
+    #[test]
+    fn anonymous_variables_are_fresh_per_occurrence() {
+        let p = Program::parse("p(_, _) -> q(_).").unwrap();
+        let r = &p.rules()[0];
+        // Two distinct universal anon vars in the body, one existential in head.
+        assert_eq!(r.existentials().len(), 1);
+        assert_eq!(r.universals().len(), 2);
+        assert!(r.is_simple_linear());
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let p = Program::parse(
+            "% percent comment\n# hash comment\n// slashes\np(X) -> q(X). % trailing",
+        )
+        .unwrap();
+        assert_eq!(p.rules().len(), 1);
+    }
+
+    #[test]
+    fn error_location_is_reported() {
+        let err = Program::parse("p(X) -> q(X)\nr(Y) -> s(Y).").unwrap_err();
+        match err {
+            CoreError::Parse(e) => {
+                assert_eq!(e.line, 2, "missing dot should be flagged at the next token");
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn arity_mismatch_across_items() {
+        let err = Program::parse("p(a, b). p(X) -> q(X).").unwrap_err();
+        assert!(matches!(err, CoreError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn non_ground_fact_rejected() {
+        let err = Program::parse("p(X).").unwrap_err();
+        assert!(matches!(err, CoreError::NonGroundFact { .. }));
+    }
+
+    #[test]
+    fn unterminated_quote_is_an_error() {
+        let err = Program::parse("p('oops).").unwrap_err();
+        assert!(matches!(err, CoreError::Parse(_)));
+    }
+
+    #[test]
+    fn stray_character_is_an_error() {
+        let err = Program::parse("p(X) -> q(X)!").unwrap_err();
+        assert!(matches!(err, CoreError::Parse(_)));
+    }
+
+    #[test]
+    fn multi_fact_conjunction_in_one_item() {
+        let p = Program::parse("p(a), q(b).").unwrap();
+        assert_eq!(p.facts().len(), 2);
+    }
+
+    #[test]
+    fn empty_program_parses() {
+        let p = Program::parse("  % nothing here\n").unwrap();
+        assert!(p.rules().is_empty());
+        assert!(p.facts().is_empty());
+    }
+
+    #[test]
+    fn guarded_multibody_rule() {
+        let p = Program::parse("r(X, Y), p(X) -> s(Y, Z).").unwrap();
+        assert_eq!(p.class(), RuleClass::Guarded);
+        assert_eq!(p.rules()[0].guard_index(), Some(0));
+    }
+
+    #[test]
+    fn non_guarded_rule_classifies_general() {
+        let p = Program::parse("p(X), q(Y) -> r(X, Y).").unwrap();
+        assert_eq!(p.class(), RuleClass::General);
+    }
+}

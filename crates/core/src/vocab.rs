@@ -1,0 +1,243 @@
+//! The vocabulary: interned strings, predicate declarations, and constants.
+
+use crate::error::CoreError;
+use crate::fxhash::FxHashMap;
+use crate::ids::{ConstId, PredId, Symbol};
+
+/// A string interner. Symbols are stable for the lifetime of the table.
+#[derive(Debug, Default, Clone)]
+pub struct SymbolTable {
+    strings: Vec<String>,
+    lookup: FxHashMap<String, Symbol>,
+}
+
+impl SymbolTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `s`, returning its symbol.
+    pub fn intern(&mut self, s: &str) -> Symbol {
+        if let Some(&sym) = self.lookup.get(s) {
+            return sym;
+        }
+        let sym = Symbol::from_index(self.strings.len());
+        self.strings.push(s.to_owned());
+        self.lookup.insert(s.to_owned(), sym);
+        sym
+    }
+
+    /// Resolves a symbol back to its string.
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.strings[sym.index()]
+    }
+
+    /// Looks up a string without interning it.
+    pub fn get(&self, s: &str) -> Option<Symbol> {
+        self.lookup.get(s).copied()
+    }
+
+    /// Number of interned strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+}
+
+/// A predicate declaration: name and arity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PredDecl {
+    /// Interned predicate name.
+    pub name: Symbol,
+    /// Number of argument positions.
+    pub arity: usize,
+}
+
+/// The vocabulary shared by a program's rules, facts, and instances:
+/// predicate declarations (with arities) and named constants.
+///
+/// Predicates are declared implicitly on first use; re-declaring with a
+/// different arity is an error surfaced by [`Vocabulary::declare_pred`].
+#[derive(Debug, Default, Clone)]
+pub struct Vocabulary {
+    symbols: SymbolTable,
+    preds: Vec<PredDecl>,
+    pred_lookup: FxHashMap<Symbol, PredId>,
+    consts: Vec<Symbol>,
+    const_lookup: FxHashMap<Symbol, ConstId>,
+}
+
+impl Vocabulary {
+    /// Creates an empty vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares (or re-resolves) a predicate with the given arity.
+    ///
+    /// Returns an error if the predicate was previously declared with a
+    /// different arity.
+    pub fn declare_pred(&mut self, name: &str, arity: usize) -> Result<PredId, CoreError> {
+        let sym = self.symbols.intern(name);
+        if let Some(&id) = self.pred_lookup.get(&sym) {
+            let declared = self.preds[id.index()].arity;
+            if declared != arity {
+                return Err(CoreError::ArityMismatch {
+                    predicate: name.to_owned(),
+                    declared,
+                    used: arity,
+                });
+            }
+            return Ok(id);
+        }
+        let id = PredId::from_index(self.preds.len());
+        self.preds.push(PredDecl { name: sym, arity });
+        self.pred_lookup.insert(sym, id);
+        Ok(id)
+    }
+
+    /// Looks up a predicate by name.
+    pub fn pred(&self, name: &str) -> Option<PredId> {
+        let sym = self.symbols.get(name)?;
+        self.pred_lookup.get(&sym).copied()
+    }
+
+    /// Returns the arity of a predicate.
+    #[inline]
+    pub fn arity(&self, pred: PredId) -> usize {
+        self.preds[pred.index()].arity
+    }
+
+    /// Returns the name of a predicate.
+    pub fn pred_name(&self, pred: PredId) -> &str {
+        self.symbols.resolve(self.preds[pred.index()].name)
+    }
+
+    /// Number of declared predicates.
+    pub fn pred_count(&self) -> usize {
+        self.preds.len()
+    }
+
+    /// Iterates over all predicate ids.
+    pub fn preds(&self) -> impl Iterator<Item = PredId> + '_ {
+        (0..self.preds.len()).map(PredId::from_index)
+    }
+
+    /// Interns a constant, returning its id.
+    pub fn intern_const(&mut self, name: &str) -> ConstId {
+        let sym = self.symbols.intern(name);
+        if let Some(&id) = self.const_lookup.get(&sym) {
+            return id;
+        }
+        let id = ConstId::from_index(self.consts.len());
+        self.consts.push(sym);
+        self.const_lookup.insert(sym, id);
+        id
+    }
+
+    /// Looks up a constant by name without interning.
+    pub fn constant(&self, name: &str) -> Option<ConstId> {
+        let sym = self.symbols.get(name)?;
+        self.const_lookup.get(&sym).copied()
+    }
+
+    /// Returns the name of a constant.
+    pub fn const_name(&self, c: ConstId) -> &str {
+        self.symbols.resolve(self.consts[c.index()])
+    }
+
+    /// Number of interned constants.
+    pub fn const_count(&self) -> usize {
+        self.consts.len()
+    }
+
+    /// Iterates over all constant ids.
+    pub fn consts(&self) -> impl Iterator<Item = ConstId> + '_ {
+        (0..self.consts.len()).map(ConstId::from_index)
+    }
+
+    /// Maximum arity over all declared predicates (0 for an empty vocabulary).
+    pub fn max_arity(&self) -> usize {
+        self.preds.iter().map(|p| p.arity).max().unwrap_or(0)
+    }
+
+    /// Access to the raw symbol table (for display helpers).
+    pub fn symbols(&self) -> &SymbolTable {
+        &self.symbols
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("person");
+        let b = t.intern("person");
+        assert_eq!(a, b);
+        assert_eq!(t.resolve(a), "person");
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn predicates_carry_arity() {
+        let mut v = Vocabulary::new();
+        let p = v.declare_pred("p", 2).unwrap();
+        assert_eq!(v.arity(p), 2);
+        assert_eq!(v.pred_name(p), "p");
+        assert_eq!(v.pred("p"), Some(p));
+        assert_eq!(v.pred("q"), None);
+    }
+
+    #[test]
+    fn arity_mismatch_is_an_error() {
+        let mut v = Vocabulary::new();
+        v.declare_pred("p", 2).unwrap();
+        let err = v.declare_pred("p", 3).unwrap_err();
+        match err {
+            CoreError::ArityMismatch { declared, used, .. } => {
+                assert_eq!((declared, used), (2, 3));
+            }
+            other => panic!("unexpected error: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn redeclaring_with_same_arity_returns_same_id() {
+        let mut v = Vocabulary::new();
+        let p1 = v.declare_pred("p", 2).unwrap();
+        let p2 = v.declare_pred("p", 2).unwrap();
+        assert_eq!(p1, p2);
+        assert_eq!(v.pred_count(), 1);
+    }
+
+    #[test]
+    fn constants_intern_and_resolve() {
+        let mut v = Vocabulary::new();
+        let a = v.intern_const("alice");
+        let b = v.intern_const("bob");
+        assert_ne!(a, b);
+        assert_eq!(v.intern_const("alice"), a);
+        assert_eq!(v.const_name(b), "bob");
+        assert_eq!(v.const_count(), 2);
+        assert_eq!(v.constant("alice"), Some(a));
+        assert_eq!(v.constant("carol"), None);
+    }
+
+    #[test]
+    fn max_arity_over_declarations() {
+        let mut v = Vocabulary::new();
+        assert_eq!(v.max_arity(), 0);
+        v.declare_pred("p", 2).unwrap();
+        v.declare_pred("q", 5).unwrap();
+        v.declare_pred("r", 1).unwrap();
+        assert_eq!(v.max_arity(), 5);
+    }
+}

@@ -1,0 +1,152 @@
+//! Property-based tests for the core crate: parser robustness and
+//! round-trips, and the homomorphism matcher against a brute-force oracle.
+
+use proptest::prelude::*;
+
+use chasekit_core::display::program_to_string;
+use chasekit_core::{
+    find_all_homs, Atom, ConstId, Instance, PredId, Program, Substitution, Term, VarId,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The parser never panics on arbitrary input (it may error).
+    #[test]
+    fn parser_never_panics(input in ".{0,200}") {
+        let _ = Program::parse(&input);
+    }
+
+    /// The parser never panics on "almost valid" rule-shaped input.
+    #[test]
+    fn parser_never_panics_on_rule_shaped_input(
+        tokens in proptest::collection::vec(
+            prop_oneof![
+                Just("p".to_string()),
+                Just("Q".to_string()),
+                Just("(".to_string()),
+                Just(")".to_string()),
+                Just(",".to_string()),
+                Just("->".to_string()),
+                Just(".".to_string()),
+                Just("'a b'".to_string()),
+                Just("_".to_string()),
+                Just("%c\n".to_string()),
+            ],
+            0..40,
+        )
+    ) {
+        let input = tokens.join(" ");
+        let _ = Program::parse(&input);
+    }
+
+    /// Pretty-printing a parsed program and re-parsing yields the same
+    /// program (fixpoint after one round trip).
+    #[test]
+    fn display_parse_roundtrip_is_a_fixpoint(
+        // Generate tiny random programs textually from safe fragments.
+        rules in proptest::collection::vec((0usize..3, 0usize..3, 0usize..3), 1..5)
+    ) {
+        let preds = ["alpha", "beta", "gamma"];
+        let mut src = String::new();
+        for (b, h, v) in rules {
+            src.push_str(&format!(
+                "{}(X{v}, Y) -> {}(Y, Z{v}).\n",
+                preds[b], preds[h]
+            ));
+        }
+        let p1 = Program::parse(&src).unwrap();
+        let text1 = program_to_string(&p1);
+        let p2 = Program::parse(&text1).unwrap();
+        let text2 = program_to_string(&p2);
+        prop_assert_eq!(text1, text2);
+    }
+}
+
+/// Brute-force homomorphism enumeration: try every assignment of variables
+/// to instance terms.
+fn oracle_homs(
+    patterns: &[Atom],
+    var_count: usize,
+    instance: &Instance,
+) -> Vec<Vec<Option<Term>>> {
+    let mut universe: Vec<Term> = instance.terms();
+    universe.sort();
+    let mut results = Vec::new();
+    let mut assignment: Vec<Option<Term>> = vec![None; var_count];
+
+    fn satisfied(patterns: &[Atom], assignment: &[Option<Term>], instance: &Instance) -> bool {
+        patterns.iter().all(|p| {
+            let image = p.map_args(|t| match t {
+                Term::Var(v) => assignment[v.index()].expect("total assignment"),
+                other => other,
+            });
+            instance.contains(&image)
+        })
+    }
+
+    fn recurse(
+        i: usize,
+        universe: &[Term],
+        patterns: &[Atom],
+        assignment: &mut Vec<Option<Term>>,
+        instance: &Instance,
+        results: &mut Vec<Vec<Option<Term>>>,
+    ) {
+        if i == assignment.len() {
+            if satisfied(patterns, assignment, instance) {
+                results.push(assignment.clone());
+            }
+            return;
+        }
+        for &t in universe {
+            assignment[i] = Some(t);
+            recurse(i + 1, universe, patterns, assignment, instance, results);
+        }
+        assignment[i] = None;
+    }
+
+    recurse(0, &universe, patterns, &mut assignment, instance, &mut results);
+    results
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The backtracking matcher finds exactly the homomorphisms the
+    /// brute-force oracle finds (for patterns using every variable).
+    #[test]
+    fn matcher_matches_brute_force_oracle(
+        facts in proptest::collection::vec((0u32..2, 0u32..3, 0u32..3), 1..8),
+        pattern_spec in proptest::collection::vec((0u32..2, 0u32..2, 0u32..2), 1..3),
+    ) {
+        // Instance over two binary predicates and three constants.
+        let instance = Instance::from_atoms(facts.iter().map(|&(p, a, b)| {
+            Atom::new(PredId(p), vec![Term::Const(ConstId(a)), Term::Const(ConstId(b))])
+        }));
+        // Patterns over two variables.
+        let patterns: Vec<Atom> = pattern_spec
+            .iter()
+            .map(|&(p, v1, v2)| {
+                Atom::new(PredId(p), vec![Term::Var(VarId(v1)), Term::Var(VarId(v2))])
+            })
+            .collect();
+        // Only compare when both variables occur (else the oracle
+        // enumerates unconstrained variables the matcher leaves unbound).
+        let uses_both = patterns.iter().any(|a| a.mentions(Term::Var(VarId(0))))
+            && patterns.iter().any(|a| a.mentions(Term::Var(VarId(1))));
+        prop_assume!(uses_both);
+
+        let fast: Vec<Vec<Option<Term>>> = find_all_homs(&patterns, 2, &instance, None)
+            .iter()
+            .map(|s: &Substitution| vec![s.get(VarId(0)), s.get(VarId(1))])
+            .collect();
+        let slow = oracle_homs(&patterns, 2, &instance);
+
+        let mut fast_sorted = fast;
+        fast_sorted.sort();
+        let mut slow_sorted = slow;
+        slow_sorted.sort();
+        prop_assert_eq!(fast_sorted, slow_sorted);
+    }
+}

@@ -1,0 +1,861 @@
+//! The chase machine: a fair, stepwise executor for all chase variants.
+//!
+//! The machine keeps a FIFO queue of pending triggers (fairness: every
+//! trigger that arises is eventually considered) and a per-variant identity
+//! set so that each trigger is applied at most once. New triggers are
+//! discovered incrementally: when an atom is added, only body atoms with the
+//! matching predicate are re-matched, pinned to the new atom.
+//!
+//! Budgets make non-termination observable: a run either **saturates**
+//! (terminating chase — the result is a universal model) or **exhausts its
+//! budget** (the caller decides what that means; the termination procedures
+//! pair budgets with divergence certificates).
+
+use std::collections::VecDeque;
+use std::ops::ControlFlow;
+
+use chasekit_core::{
+    exists_extension, for_each_hom, AtomId, FxHashMap, FxHashSet, Instance, NullId,
+    Program, Substitution, Term,
+};
+
+use crate::derivation::{Application, DerivationDag};
+use crate::variant::ChaseVariant;
+
+/// Static configuration of a chase machine.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaseConfig {
+    /// Which chase variant to run.
+    pub variant: ChaseVariant,
+    /// Record the derivation DAG (needed by the guarded termination
+    /// procedure; costs memory proportional to the run).
+    pub track_derivation: bool,
+    /// Track Skolem-term ancestry of nulls and flag *cyclic* terms (a null
+    /// whose Skolem function symbol occurs in its own ancestry). Used by
+    /// model-faithful acyclicity (MFA).
+    pub track_skolem: bool,
+    /// Ablation switch: disable delta-driven trigger discovery and re-match
+    /// every rule body from scratch after each application. Semantically
+    /// identical (the identity set deduplicates), asymptotically worse; kept
+    /// to measure what incremental matching buys (see `benches/ablation.rs`).
+    pub naive_matching: bool,
+    /// Trigger scheduling policy. Irrelevant for the oblivious and
+    /// semi-oblivious chase (their termination is order-independent,
+    /// CT∀ = CT∃), but the **restricted** chase is order-dependent:
+    /// different fair orders can terminate or diverge on the same input.
+    /// `Random` draws the next trigger uniformly (seeded xorshift; fair
+    /// with probability 1), which lets experiments explore CT∃ behaviour.
+    pub scheduling: Scheduling,
+}
+
+/// Trigger scheduling policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scheduling {
+    /// First-in-first-out: the canonical deterministic fair order.
+    Fifo,
+    /// Uniform random selection among pending triggers, seeded.
+    Random(u64),
+}
+
+impl ChaseConfig {
+    /// Configuration for a plain run of the given variant.
+    pub fn of(variant: ChaseVariant) -> Self {
+        ChaseConfig {
+            variant,
+            track_derivation: false,
+            track_skolem: false,
+            naive_matching: false,
+            scheduling: Scheduling::Fifo,
+        }
+    }
+
+    /// Switches to seeded random trigger scheduling.
+    pub fn with_random_scheduling(mut self, seed: u64) -> Self {
+        self.scheduling = Scheduling::Random(seed);
+        self
+    }
+
+    /// Ablation: switch to naive (non-incremental) trigger discovery.
+    pub fn with_naive_matching(mut self) -> Self {
+        self.naive_matching = true;
+        self
+    }
+
+    /// Enables derivation tracking.
+    pub fn with_derivation(mut self) -> Self {
+        self.track_derivation = true;
+        self
+    }
+
+    /// Enables Skolem cyclicity tracking.
+    pub fn with_skolem(mut self) -> Self {
+        self.track_skolem = true;
+        self
+    }
+}
+
+/// Budget limiting a chase run.
+#[derive(Debug, Clone, Copy)]
+pub struct Budget {
+    /// Maximum number of trigger applications.
+    pub max_applications: u64,
+    /// Maximum number of atoms in the instance.
+    pub max_atoms: usize,
+}
+
+impl Budget {
+    /// A budget with the given application cap and unlimited atoms.
+    pub fn applications(n: u64) -> Self {
+        Budget { max_applications: n, max_atoms: usize::MAX }
+    }
+}
+
+impl Default for Budget {
+    fn default() -> Self {
+        Budget { max_applications: 100_000, max_atoms: 1_000_000 }
+    }
+}
+
+/// How a budgeted run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaseOutcome {
+    /// No unconsidered trigger remains: the chase terminated.
+    Saturated,
+    /// The budget ran out first; termination status unknown from this run.
+    BudgetExhausted,
+}
+
+/// Counters describing a chase run.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct ChaseStats {
+    /// Trigger applications performed.
+    pub applications: u64,
+    /// Atoms added (beyond the initial instance).
+    pub atoms_added: u64,
+    /// Head-atom images that already existed.
+    pub duplicate_atoms: u64,
+    /// Triggers enqueued (after identity dedup).
+    pub triggers_enqueued: u64,
+    /// Candidate triggers dropped because their identity was already seen.
+    pub triggers_deduped: u64,
+    /// Restricted chase only: triggers skipped because the head was
+    /// already satisfied.
+    pub satisfied_skips: u64,
+    /// Nulls minted.
+    pub nulls_minted: u64,
+}
+
+/// One applied chase step.
+#[derive(Debug, Clone)]
+pub struct StepEvent {
+    /// Sequence number of the application.
+    pub seq: u64,
+    /// Atoms the application added (may be empty for duplicate head images).
+    pub new_atoms: Vec<AtomId>,
+}
+
+#[derive(Debug)]
+struct Trigger {
+    rule: usize,
+    subst: Substitution,
+}
+
+/// Skolem ancestry info for one null: its function tag `(rule, exvar)` and
+/// the set of tags occurring in its arguments' ancestries.
+#[derive(Debug, Clone)]
+struct SkolemInfo {
+    tag: u32,
+    ancestry: FxHashSet<u32>,
+}
+
+/// A stepwise chase executor. See the module docs.
+pub struct ChaseMachine<'p> {
+    program: &'p Program,
+    config: ChaseConfig,
+    instance: Instance,
+    queue: VecDeque<Trigger>,
+    seen: FxHashSet<(u32, Vec<Term>)>,
+    derivation: DerivationDag,
+    stats: ChaseStats,
+    skolem: FxHashMap<NullId, SkolemInfo>,
+    skolem_cyclic: Option<NullId>,
+    next_seq: u64,
+    rng_state: u64,
+}
+
+impl<'p> ChaseMachine<'p> {
+    /// Creates a machine over `initial` and enqueues all initial triggers.
+    pub fn new(program: &'p Program, config: ChaseConfig, initial: Instance) -> Self {
+        let mut machine = ChaseMachine {
+            program,
+            config,
+            instance: initial,
+            queue: VecDeque::new(),
+            seen: FxHashSet::default(),
+            derivation: DerivationDag::new(),
+            stats: ChaseStats::default(),
+            skolem: FxHashMap::default(),
+            skolem_cyclic: None,
+            next_seq: 0,
+            rng_state: match config.scheduling {
+                Scheduling::Fifo => 0,
+                // Avoid the all-zero fixpoint of xorshift.
+                Scheduling::Random(seed) => seed | 1,
+            },
+        };
+        for rule_idx in 0..program.rules().len() {
+            machine.enqueue_matches(rule_idx, None);
+        }
+        machine
+    }
+
+    /// The current instance.
+    pub fn instance(&self) -> &Instance {
+        &self.instance
+    }
+
+    /// Consumes the machine, returning the instance.
+    pub fn into_instance(self) -> Instance {
+        self.instance
+    }
+
+    /// The derivation DAG (empty unless `track_derivation` was set).
+    pub fn derivation(&self) -> &DerivationDag {
+        &self.derivation
+    }
+
+    /// Run statistics so far.
+    pub fn stats(&self) -> &ChaseStats {
+        &self.stats
+    }
+
+    /// The first cyclic Skolem null found, if `track_skolem` was set and one
+    /// occurred.
+    pub fn skolem_cyclic(&self) -> Option<NullId> {
+        self.skolem_cyclic
+    }
+
+    /// Number of pending (not yet considered) triggers.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Finds triggers for `rule_idx`, optionally pinned to a new atom, and
+    /// enqueues the identity-fresh ones.
+    fn enqueue_matches(&mut self, rule_idx: usize, pinned: Option<AtomId>) {
+        let rule = &self.program.rules()[rule_idx];
+        let variant = self.config.variant;
+
+        // Collect first (can't borrow self mutably inside the closure).
+        let mut found: Vec<Substitution> = Vec::new();
+        match pinned {
+            None => {
+                for_each_hom(
+                    rule.body(),
+                    rule.var_count(),
+                    &self.instance,
+                    None,
+                    None,
+                    &mut |s| {
+                        found.push(s.clone());
+                        ControlFlow::Continue(())
+                    },
+                );
+            }
+            Some(atom_id) => {
+                let pred = self.instance.atom(atom_id).pred;
+                for (body_idx, body_atom) in rule.body().iter().enumerate() {
+                    if body_atom.pred != pred {
+                        continue;
+                    }
+                    for_each_hom(
+                        rule.body(),
+                        rule.var_count(),
+                        &self.instance,
+                        None,
+                        Some((body_idx, atom_id)),
+                        &mut |s| {
+                            found.push(s.clone());
+                            ControlFlow::Continue(())
+                        },
+                    );
+                }
+            }
+        }
+
+        for subst in found {
+            let key = variant.trigger_key(rule, &subst);
+            if self.seen.insert((rule_idx as u32, key)) {
+                self.stats.triggers_enqueued += 1;
+                self.queue.push_back(Trigger { rule: rule_idx, subst });
+            } else {
+                self.stats.triggers_deduped += 1;
+            }
+        }
+    }
+
+    /// Draws the next trigger according to the scheduling policy.
+    fn next_trigger(&mut self) -> Option<Trigger> {
+        match self.config.scheduling {
+            Scheduling::Fifo => self.queue.pop_front(),
+            Scheduling::Random(_) => {
+                if self.queue.is_empty() {
+                    return None;
+                }
+                // xorshift64*
+                let mut x = self.rng_state;
+                x ^= x >> 12;
+                x ^= x << 25;
+                x ^= x >> 27;
+                self.rng_state = x;
+                let idx = (x.wrapping_mul(0x2545_f491_4f6c_dd1d) as usize) % self.queue.len();
+                self.queue.swap_remove_back(idx)
+            }
+        }
+    }
+
+    /// Applies the next applicable trigger. Returns `None` when no trigger
+    /// remains (the chase is saturated).
+    pub fn step(&mut self) -> Option<StepEvent> {
+        loop {
+            let trigger = self.next_trigger()?;
+            let rule = &self.program.rules()[trigger.rule];
+
+            if self.config.variant.checks_satisfaction()
+                && exists_extension(rule.head(), rule.var_count(), &self.instance, &trigger.subst)
+            {
+                self.stats.satisfied_skips += 1;
+                continue;
+            }
+
+            return Some(self.apply(trigger));
+        }
+    }
+
+    /// Applies one trigger unconditionally.
+    fn apply(&mut self, trigger: Trigger) -> StepEvent {
+        let rule = &self.program.rules()[trigger.rule];
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.stats.applications += 1;
+
+        // Extend the substitution with fresh nulls for the existentials.
+        let mut subst = trigger.subst;
+        let mut born = Vec::with_capacity(rule.existentials().len());
+        for &ex in rule.existentials() {
+            let null = self.instance.fresh_null();
+            self.stats.nulls_minted += 1;
+            born.push(null);
+            subst.bind(ex, Term::Null(null));
+        }
+
+        let frontier: Vec<Term> = rule.frontier().iter().map(|&v| subst.get(v).unwrap()).collect();
+
+        if self.config.track_skolem && !born.is_empty() {
+            self.record_skolem(trigger.rule, rule.existentials(), &born, &frontier);
+        }
+
+        // Resolve parents before inserting new atoms.
+        let (parents, primary_parent) = if self.config.track_derivation {
+            let parents: Vec<AtomId> = rule
+                .body()
+                .iter()
+                .map(|a| {
+                    let image = subst.apply_atom(a);
+                    self.instance
+                        .id_of(&image)
+                        .expect("body image must be in the instance")
+                })
+                .collect();
+            // The primary parent anchors ancestor chains: the guard image
+            // for guarded rules, the first body image otherwise.
+            let primary = rule
+                .guard_index()
+                .map(|g| parents[g])
+                .or_else(|| parents.first().copied());
+            (parents, primary)
+        } else {
+            (Vec::new(), None)
+        };
+
+        let app_idx = if self.config.track_derivation {
+            Some(self.derivation.push_application(Application {
+                rule: trigger.rule,
+                seq,
+                parents,
+                primary_parent,
+                frontier,
+                born_nulls: born,
+                produced: Vec::new(),
+            }))
+        } else {
+            // Null births still matter for the skolem/cyclicity machinery,
+            // but that is tracked separately; nothing to record here.
+            None
+        };
+
+        let mut new_atoms = Vec::new();
+        for head_atom in rule.head() {
+            let image = subst.apply_atom(head_atom);
+            debug_assert!(image.is_ground());
+            let (id, is_new) = self.instance.insert(image);
+            if is_new {
+                self.stats.atoms_added += 1;
+                if let Some(app) = app_idx {
+                    self.derivation.record_atom(id, app);
+                }
+                new_atoms.push(id);
+            } else {
+                self.stats.duplicate_atoms += 1;
+            }
+        }
+
+        // Discover triggers enabled by the new atoms.
+        if self.config.naive_matching {
+            if !new_atoms.is_empty() {
+                for rule_idx in 0..self.program.rules().len() {
+                    self.enqueue_matches(rule_idx, None);
+                }
+            }
+        } else {
+            for &id in &new_atoms {
+                for rule_idx in 0..self.program.rules().len() {
+                    self.enqueue_matches(rule_idx, Some(id));
+                }
+            }
+        }
+
+        StepEvent { seq, new_atoms }
+    }
+
+    /// Records Skolem ancestry for freshly minted nulls and flags cyclic
+    /// terms.
+    fn record_skolem(
+        &mut self,
+        rule_idx: usize,
+        exvars: &[chasekit_core::VarId],
+        born: &[NullId],
+        frontier: &[Term],
+    ) {
+        // Ancestry of the arguments: union over frontier nulls of
+        // (their ancestry ∪ their own tag).
+        let mut ancestry: FxHashSet<u32> = FxHashSet::default();
+        for t in frontier {
+            if let Term::Null(n) = *t {
+                if let Some(info) = self.skolem.get(&n) {
+                    ancestry.insert(info.tag);
+                    ancestry.extend(info.ancestry.iter().copied());
+                }
+            }
+        }
+        for (i, &null) in born.iter().enumerate() {
+            // Tag = (rule, existential variable), densely encoded.
+            let tag = (rule_idx as u32) << 8 | (exvars[i].0 & 0xff);
+            if ancestry.contains(&tag) && self.skolem_cyclic.is_none() {
+                self.skolem_cyclic = Some(null);
+            }
+            self.skolem.insert(null, SkolemInfo { tag, ancestry: ancestry.clone() });
+        }
+    }
+
+    /// Runs until saturation or budget exhaustion.
+    pub fn run(&mut self, budget: &Budget) -> ChaseOutcome {
+        while self.stats.applications < budget.max_applications
+            && self.instance.len() < budget.max_atoms
+        {
+            if self.step().is_none() {
+                return ChaseOutcome::Saturated;
+            }
+        }
+        // One more probe: if the queue is empty we still saturated exactly
+        // at the budget boundary.
+        if self.queue.is_empty() {
+            ChaseOutcome::Saturated
+        } else {
+            ChaseOutcome::BudgetExhausted
+        }
+    }
+}
+
+/// Result of a one-shot chase run.
+#[derive(Debug)]
+pub struct ChaseResult {
+    /// How the run ended.
+    pub outcome: ChaseOutcome,
+    /// The final (or partial, on budget exhaustion) instance.
+    pub instance: Instance,
+    /// Run statistics.
+    pub stats: ChaseStats,
+}
+
+/// Convenience: runs the chase of `program` on `initial` to completion or
+/// budget exhaustion.
+pub fn chase(
+    program: &Program,
+    variant: ChaseVariant,
+    initial: Instance,
+    budget: &Budget,
+) -> ChaseResult {
+    let mut machine = ChaseMachine::new(program, ChaseConfig::of(variant), initial);
+    let outcome = machine.run(budget);
+    let stats = machine.stats().clone();
+    ChaseResult { outcome, instance: machine.into_instance(), stats }
+}
+
+/// Convenience: chases a program's own facts.
+pub fn chase_facts(
+    program: &Program,
+    variant: ChaseVariant,
+    budget: &Budget,
+) -> ChaseResult {
+    let initial = Instance::from_atoms(program.facts().iter().cloned());
+    chase(program, variant, initial, budget)
+}
+
+/// Checks that `instance` is a model of the program's rules: every trigger
+/// has its head satisfied. Used by tests to validate chase results.
+pub fn is_model(program: &Program, instance: &Instance) -> bool {
+    for rule in program.rules() {
+        let mut ok = true;
+        for_each_hom(rule.body(), rule.var_count(), instance, None, None, &mut |s| {
+            if exists_extension(rule.head(), rule.var_count(), instance, s) {
+                ControlFlow::Continue(())
+            } else {
+                ok = false;
+                ControlFlow::Break(())
+            }
+        });
+        if !ok {
+            return false;
+        }
+    }
+    true
+}
+
+/// Checks that `instance` contains every atom of `base` (the chase never
+/// deletes).
+pub fn contains_instance(instance: &Instance, base: &Instance) -> bool {
+    base.iter().all(|(_, a)| instance.contains(a))
+}
+
+#[allow(unused_imports)]
+use chasekit_core::atom::Atom as _AtomForDocs;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chasekit_core::instance_hom_exists;
+
+    fn facts(program: &Program) -> Instance {
+        Instance::from_atoms(program.facts().iter().cloned())
+    }
+
+    /// Paper Example 1: person(X) -> hasFather(X, Y), person(Y). Diverges
+    /// under every variant.
+    #[test]
+    fn example1_diverges_under_all_variants() {
+        let p = Program::parse("person(X) -> hasFather(X, Y), person(Y). person(bob).").unwrap();
+        for variant in [
+            ChaseVariant::Oblivious,
+            ChaseVariant::SemiOblivious,
+            ChaseVariant::Restricted,
+        ] {
+            let r = chase(&p, variant, facts(&p), &Budget::applications(200));
+            assert_eq!(r.outcome, ChaseOutcome::BudgetExhausted, "{variant} should diverge");
+            assert!(r.stats.applications >= 200);
+        }
+    }
+
+    /// Paper Example 2: p(a,b), p(X,Y) -> ∃Z p(Y,Z). Diverges; the chase
+    /// builds an infinite path.
+    #[test]
+    fn example2_diverges() {
+        let p = Program::parse("p(a, b). p(X, Y) -> p(Y, Z).").unwrap();
+        for variant in [
+            ChaseVariant::Oblivious,
+            ChaseVariant::SemiOblivious,
+            ChaseVariant::Restricted,
+        ] {
+            let r = chase(&p, variant, facts(&p), &Budget::applications(100));
+            assert_eq!(r.outcome, ChaseOutcome::BudgetExhausted, "{variant} should diverge");
+        }
+    }
+
+    /// r(X,Y) -> ∃Z r(X,Z): the classic separator — diverges obliviously,
+    /// terminates semi-obliviously (frontier {X} never changes).
+    #[test]
+    fn oblivious_vs_semi_oblivious_separation() {
+        let p = Program::parse("r(a, b). r(X, Y) -> r(X, Z).").unwrap();
+        let o = chase(&p, ChaseVariant::Oblivious, facts(&p), &Budget::applications(100));
+        assert_eq!(o.outcome, ChaseOutcome::BudgetExhausted);
+
+        let so = chase(&p, ChaseVariant::SemiOblivious, facts(&p), &Budget::applications(100));
+        assert_eq!(so.outcome, ChaseOutcome::Saturated);
+        // r(a,b) plus one invented r(a, z).
+        assert_eq!(so.instance.len(), 2);
+        assert!(is_model(&p, &so.instance));
+    }
+
+    /// p(x) -> ∃y e(x,y); e(x,y) -> p(x): terminates under o and so.
+    #[test]
+    fn terminating_cycle_without_null_growth() {
+        let p = Program::parse("p(a). p(X) -> e(X, Y). e(X, Y) -> p(X).").unwrap();
+        for variant in [ChaseVariant::Oblivious, ChaseVariant::SemiOblivious] {
+            let r = chase(&p, variant, facts(&p), &Budget::applications(100));
+            assert_eq!(r.outcome, ChaseOutcome::Saturated, "{variant}");
+            assert!(is_model(&p, &r.instance));
+        }
+    }
+
+    /// Restricted chase terminates where (semi-)oblivious diverges:
+    /// e(X,Y) -> ∃Z e(Y,Z) on a looping database e(a,a).
+    #[test]
+    fn restricted_skips_satisfied_heads() {
+        let p = Program::parse("e(a, a). e(X, Y) -> e(Y, Z).").unwrap();
+        let r = chase(&p, ChaseVariant::Restricted, facts(&p), &Budget::applications(100));
+        assert_eq!(r.outcome, ChaseOutcome::Saturated);
+        // e(a,a) already satisfies the head for Y=a; nothing is added.
+        assert_eq!(r.instance.len(), 1);
+        assert_eq!(r.stats.satisfied_skips, 1);
+
+        let so = chase(&p, ChaseVariant::SemiOblivious, facts(&p), &Budget::applications(100));
+        assert_eq!(so.outcome, ChaseOutcome::BudgetExhausted);
+    }
+
+    /// Datalog programs saturate and compute the expected closure.
+    #[test]
+    fn datalog_transitive_closure() {
+        let p = Program::parse(
+            "e(a, b). e(b, c). e(c, d).
+             e(X, Y) -> t(X, Y).
+             e(X, Y), t(Y, Z) -> t(X, Z).",
+        )
+        .unwrap();
+        for variant in [
+            ChaseVariant::Oblivious,
+            ChaseVariant::SemiOblivious,
+            ChaseVariant::Restricted,
+        ] {
+            let r = chase(&p, variant, facts(&p), &Budget::default());
+            assert_eq!(r.outcome, ChaseOutcome::Saturated, "{variant}");
+            // 3 base edges + 6 closure pairs.
+            assert_eq!(r.instance.len(), 9, "{variant}");
+            assert!(is_model(&p, &r.instance));
+        }
+    }
+
+    /// The chase result contains the input and is a model (universality
+    /// smoke test: the restricted result maps into the semi-oblivious one).
+    #[test]
+    fn chase_results_are_models_and_universal() {
+        let p = Program::parse(
+            "emp(alice). emp(X) -> dept(X, D), mgr(D, M). mgr(D, M) -> boss(M).",
+        )
+        .unwrap();
+        let so = chase(&p, ChaseVariant::SemiOblivious, facts(&p), &Budget::default());
+        let rst = chase(&p, ChaseVariant::Restricted, facts(&p), &Budget::default());
+        assert_eq!(so.outcome, ChaseOutcome::Saturated);
+        assert_eq!(rst.outcome, ChaseOutcome::Saturated);
+        assert!(is_model(&p, &so.instance));
+        assert!(is_model(&p, &rst.instance));
+        assert!(contains_instance(&so.instance, &facts(&p)));
+        // Universal models embed into each other's models.
+        assert!(instance_hom_exists(&rst.instance, &so.instance));
+        assert!(instance_hom_exists(&so.instance, &rst.instance));
+    }
+
+    #[test]
+    fn derivation_tracking_records_parents_and_depths() {
+        let p = Program::parse("p(a). p(X) -> q(X, Y). q(X, Y) -> r(Y).").unwrap();
+        let mut m = ChaseMachine::new(
+            &p,
+            ChaseConfig::of(ChaseVariant::SemiOblivious).with_derivation(),
+            facts(&p),
+        );
+        assert_eq!(m.run(&Budget::default()), ChaseOutcome::Saturated);
+        let dag = m.derivation();
+        assert_eq!(dag.applications().len(), 2);
+        assert_eq!(dag.max_depth(), 2);
+        // r(z) was created from q(a, z), which came from p(a).
+        let r_pred = p.vocab.pred("r").unwrap();
+        let (r_id, _) = m.instance().iter().find(|(_, a)| a.pred == r_pred).unwrap();
+        let chain = dag.ancestor_chain(r_id);
+        assert_eq!(chain.len(), 2);
+    }
+
+    #[test]
+    fn skolem_tracking_flags_cyclic_terms() {
+        // person(X) -> person(f(X)) nests the same skolem function forever.
+        let p = Program::parse("person(a). person(X) -> father(X, Y), person(Y).").unwrap();
+        let mut m = ChaseMachine::new(
+            &p,
+            ChaseConfig::of(ChaseVariant::SemiOblivious).with_skolem(),
+            facts(&p),
+        );
+        let _ = m.run(&Budget::applications(10));
+        assert!(m.skolem_cyclic().is_some());
+    }
+
+    #[test]
+    fn skolem_tracking_stays_clean_on_acyclic_programs() {
+        let p = Program::parse("p(a). p(X) -> q(X, Y). q(X, Y) -> s(Y).").unwrap();
+        let mut m = ChaseMachine::new(
+            &p,
+            ChaseConfig::of(ChaseVariant::SemiOblivious).with_skolem(),
+            facts(&p),
+        );
+        assert_eq!(m.run(&Budget::default()), ChaseOutcome::Saturated);
+        assert!(m.skolem_cyclic().is_none());
+    }
+
+    #[test]
+    fn empty_instance_with_no_facts_saturates_immediately() {
+        let p = Program::parse("p(X) -> q(X).").unwrap();
+        let r = chase(&p, ChaseVariant::Oblivious, Instance::new(), &Budget::default());
+        assert_eq!(r.outcome, ChaseOutcome::Saturated);
+        assert_eq!(r.stats.applications, 0);
+        assert!(r.instance.is_empty());
+    }
+
+    #[test]
+    fn stats_count_dedup_and_duplicates() {
+        // Two rules generating the same atom q(a).
+        let p = Program::parse("p(a). p(X) -> q(X). r(a). r(X) -> q(X).").unwrap();
+        let r = chase(&p, ChaseVariant::SemiOblivious, facts(&p), &Budget::default());
+        assert_eq!(r.outcome, ChaseOutcome::Saturated);
+        assert_eq!(r.stats.applications, 2);
+        assert_eq!(r.stats.atoms_added, 1);
+        assert_eq!(r.stats.duplicate_atoms, 1);
+    }
+
+    #[test]
+    fn budget_is_respected() {
+        let p = Program::parse("p(a, b). p(X, Y) -> p(Y, Z).").unwrap();
+        let r = chase(&p, ChaseVariant::Oblivious, facts(&p), &Budget::applications(17));
+        assert_eq!(r.stats.applications, 17);
+        assert_eq!(r.outcome, ChaseOutcome::BudgetExhausted);
+    }
+
+    #[test]
+    fn multibody_guarded_rule_fires() {
+        let p = Program::parse(
+            "r(a, b). s(a).
+             r(X, Y), s(X) -> t(X, Y, Z).",
+        )
+        .unwrap();
+        let r = chase(&p, ChaseVariant::SemiOblivious, facts(&p), &Budget::default());
+        assert_eq!(r.outcome, ChaseOutcome::Saturated);
+        let t = p.vocab.pred("t").unwrap();
+        assert_eq!(r.instance.with_pred(t).len(), 1);
+    }
+
+    #[test]
+    fn non_guarded_product_rule_fires_for_all_pairs() {
+        let p = Program::parse(
+            "p(a). p(b). q(c).
+             p(X), q(Y) -> link(X, Y).",
+        )
+        .unwrap();
+        let r = chase(&p, ChaseVariant::SemiOblivious, facts(&p), &Budget::default());
+        assert_eq!(r.outcome, ChaseOutcome::Saturated);
+        let link = p.vocab.pred("link").unwrap();
+        assert_eq!(r.instance.with_pred(link).len(), 2);
+    }
+}
+
+#[cfg(test)]
+mod scheduling_tests {
+    use super::*;
+    use chasekit_core::Program;
+
+    /// The restricted chase is order-dependent: on this rule set the FIFO
+    /// order diverges (the existential rule keeps outrunning the swap rule),
+    /// while many random orders let the swap rule satisfy heads early and
+    /// saturate — the CT∃ vs CT∀ distinction the paper's §2 sidesteps for
+    /// the (semi-)oblivious chase.
+    #[test]
+    fn restricted_chase_is_order_dependent() {
+        let p = Program::parse("r(a, b). r(X, Y) -> r(Y, Z). r(X, Y) -> r(Y, X).").unwrap();
+        let db = || Instance::from_atoms(p.facts().iter().cloned());
+        let budget = Budget::applications(300);
+
+        let mut fifo =
+            ChaseMachine::new(&p, ChaseConfig::of(ChaseVariant::Restricted), db());
+        let fifo_outcome = fifo.run(&budget);
+
+        let mut saturating_seeds = 0;
+        let mut diverging_seeds = 0;
+        for seed in 1..=20u64 {
+            let cfg = ChaseConfig::of(ChaseVariant::Restricted).with_random_scheduling(seed);
+            let mut m = ChaseMachine::new(&p, cfg, db());
+            match m.run(&budget) {
+                ChaseOutcome::Saturated => saturating_seeds += 1,
+                ChaseOutcome::BudgetExhausted => diverging_seeds += 1,
+            }
+        }
+
+        // Both behaviours must be observable across orders.
+        let total_saturating =
+            saturating_seeds + (fifo_outcome == ChaseOutcome::Saturated) as u32;
+        let total_diverging =
+            diverging_seeds + (fifo_outcome == ChaseOutcome::BudgetExhausted) as u32;
+        assert!(
+            total_saturating > 0,
+            "expected at least one order to saturate (fifo: {fifo_outcome:?})"
+        );
+        assert!(
+            total_diverging > 0,
+            "expected at least one order to keep running (fifo: {fifo_outcome:?})"
+        );
+    }
+
+    /// Order does NOT affect the (semi-)oblivious chase result set.
+    #[test]
+    fn oblivious_results_are_order_independent() {
+        let p = Program::parse(
+            "e(a, b). e(b, c). e(X, Y) -> t(X, Y). e(X, Y), t(Y, Z) -> t(X, Z).",
+        )
+        .unwrap();
+        let db = || Instance::from_atoms(p.facts().iter().cloned());
+        let fifo = {
+            let mut m = ChaseMachine::new(&p, ChaseConfig::of(ChaseVariant::SemiOblivious), db());
+            assert_eq!(m.run(&Budget::default()), ChaseOutcome::Saturated);
+            m.into_instance()
+        };
+        for seed in 1..=5u64 {
+            let cfg = ChaseConfig::of(ChaseVariant::SemiOblivious).with_random_scheduling(seed);
+            let mut m = ChaseMachine::new(&p, cfg, db());
+            assert_eq!(m.run(&Budget::default()), ChaseOutcome::Saturated);
+            let inst = m.into_instance();
+            assert_eq!(inst.len(), fifo.len(), "seed {seed}");
+            for (_, atom) in fifo.iter() {
+                assert!(inst.contains(atom), "seed {seed}");
+            }
+        }
+    }
+
+    /// Random scheduling is fair: a diverging workload still applies every
+    /// pending trigger eventually (spot check: queue never starves a rule).
+    #[test]
+    fn random_scheduling_remains_fair_in_practice() {
+        let p = Program::parse(
+            "person(bob). person(X) -> hasFather(X, Y), person(Y). person(X) -> alive(X).",
+        )
+        .unwrap();
+        let cfg = ChaseConfig::of(ChaseVariant::SemiOblivious).with_random_scheduling(7);
+        let mut m = ChaseMachine::new(
+            &p,
+            cfg,
+            Instance::from_atoms(p.facts().iter().cloned()),
+        );
+        let _ = m.run(&Budget::applications(500));
+        // The datalog rule must have fired many times despite the
+        // existential rule flooding the queue.
+        let alive = p.vocab.pred("alive").unwrap();
+        assert!(
+            m.instance().with_pred(alive).len() > 50,
+            "alive count: {}",
+            m.instance().with_pred(alive).len()
+        );
+    }
+}

@@ -1,0 +1,188 @@
+//! The **core chase** (Deutsch, Nash & Remmel, PODS 2008 — the reproduced
+//! paper's reference \[4\]).
+//!
+//! The restricted chase is order-dependent: some fair orders terminate
+//! while others diverge on the same input. The core chase removes the
+//! non-determinism: in each *round* it applies **all** currently active
+//! triggers (restricted semantics — skip satisfied heads), then replaces
+//! the instance by its **core**. It terminates iff a finite universal
+//! model exists at all, making it the strongest chase variant for
+//! termination — at the cost of core computation (NP-hard) each round.
+//!
+//! This implementation reuses [`crate::core_min::core_of`] and inherits its
+//! null-count guard: instances that grow past [`crate::core_min::MAX_CORE_NULLS`]
+//! nulls abort the run with [`CoreChaseOutcome::CoreTooLarge`].
+
+use std::ops::ControlFlow;
+
+use chasekit_core::{exists_extension, for_each_hom, Instance, Program, Substitution};
+
+use crate::chase::Budget;
+use crate::core_min::core_of;
+
+/// How a core-chase run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoreChaseOutcome {
+    /// A round added nothing: the instance is a (core) universal model.
+    Saturated,
+    /// The round budget ran out.
+    BudgetExhausted,
+    /// The intermediate instance exceeded the core-computation guard.
+    CoreTooLarge,
+}
+
+/// Result of a core-chase run.
+#[derive(Debug)]
+pub struct CoreChaseResult {
+    /// How the run ended.
+    pub outcome: CoreChaseOutcome,
+    /// The final instance (the core universal model on saturation).
+    pub instance: Instance,
+    /// Rounds executed.
+    pub rounds: u64,
+}
+
+/// Runs the core chase. `budget.max_applications` bounds the number of
+/// rounds; `budget.max_atoms` bounds the intermediate instance size.
+pub fn core_chase(program: &Program, initial: Instance, budget: &Budget) -> CoreChaseResult {
+    let mut instance = match core_of(&initial) {
+        Some(core) => core,
+        None => {
+            return CoreChaseResult {
+                outcome: CoreChaseOutcome::CoreTooLarge,
+                instance: initial,
+                rounds: 0,
+            }
+        }
+    };
+    let mut rounds = 0u64;
+
+    loop {
+        if rounds >= budget.max_applications {
+            return CoreChaseResult {
+                outcome: CoreChaseOutcome::BudgetExhausted,
+                instance,
+                rounds,
+            };
+        }
+        rounds += 1;
+
+        // Collect all active triggers against the *current* instance.
+        let mut active: Vec<(usize, Substitution)> = Vec::new();
+        for (rule_idx, rule) in program.rules().iter().enumerate() {
+            for_each_hom(rule.body(), rule.var_count(), &instance, None, None, &mut |s| {
+                if !exists_extension(rule.head(), rule.var_count(), &instance, s) {
+                    active.push((rule_idx, s.clone()));
+                }
+                ControlFlow::Continue(())
+            });
+        }
+        if active.is_empty() {
+            return CoreChaseResult { outcome: CoreChaseOutcome::Saturated, instance, rounds };
+        }
+
+        // Apply them all (parallel-round semantics).
+        let mut next = instance.clone();
+        for (rule_idx, subst) in active {
+            let rule = &program.rules()[rule_idx];
+            let mut subst = subst;
+            for &ex in rule.existentials() {
+                let null = next.fresh_null();
+                subst.bind(ex, chasekit_core::Term::Null(null));
+            }
+            for head_atom in rule.head() {
+                next.insert(subst.apply_atom(head_atom));
+            }
+            if next.len() > budget.max_atoms {
+                return CoreChaseResult {
+                    outcome: CoreChaseOutcome::BudgetExhausted,
+                    instance: next,
+                    rounds,
+                };
+            }
+        }
+
+        // Core-minimize the round's result.
+        instance = match core_of(&next) {
+            Some(core) => core,
+            None => {
+                return CoreChaseResult {
+                    outcome: CoreChaseOutcome::CoreTooLarge,
+                    instance: next,
+                    rounds,
+                }
+            }
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chase::{chase, ChaseOutcome};
+    use crate::variant::ChaseVariant;
+    use chasekit_core::{instance_hom_exists, Program};
+
+    fn facts(p: &Program) -> Instance {
+        Instance::from_atoms(p.facts().iter().cloned())
+    }
+
+    #[test]
+    fn terminating_workloads_saturate_to_small_cores() {
+        let p = Program::parse("emp(a). emp(X) -> dept(X, D). dept(X, D) -> unit(D).").unwrap();
+        let r = core_chase(&p, facts(&p), &Budget::default());
+        assert_eq!(r.outcome, CoreChaseOutcome::Saturated);
+        assert!(crate::chase::is_model(&p, &r.instance));
+        assert_eq!(r.instance.len(), 3);
+    }
+
+    /// The order-dependence workload: restricted FIFO diverges, yet a
+    /// finite universal model exists — the core chase finds it
+    /// deterministically (the paper's reference [4] is exactly about this).
+    #[test]
+    fn core_chase_terminates_where_fifo_restricted_diverges() {
+        let p = Program::parse("r(a, b). r(X, Y) -> r(Y, Z). r(X, Y) -> r(Y, X).").unwrap();
+        let fifo = chase(&p, ChaseVariant::Restricted, facts(&p), &Budget::applications(300));
+        assert_eq!(fifo.outcome, ChaseOutcome::BudgetExhausted, "FIFO diverges here");
+
+        let r = core_chase(&p, facts(&p), &Budget::default());
+        assert_eq!(r.outcome, CoreChaseOutcome::Saturated);
+        assert!(crate::chase::is_model(&p, &r.instance));
+        // The core model is just the 2-cycle {r(a,b), r(b,a)}.
+        assert_eq!(r.instance.len(), 2);
+    }
+
+    #[test]
+    fn core_chase_diverges_when_no_finite_universal_model_exists() {
+        // Example 2 of the paper: every model embeds the infinite path, so
+        // no finite universal model exists; the core chase cannot stop.
+        let p = Program::parse("p(a, b). p(X, Y) -> p(Y, Z).").unwrap();
+        let r = core_chase(&p, facts(&p), &Budget::applications(20));
+        assert_eq!(r.outcome, CoreChaseOutcome::BudgetExhausted);
+        assert_eq!(r.rounds, 20);
+    }
+
+    #[test]
+    fn core_chase_result_embeds_into_the_restricted_result() {
+        let p = Program::parse(
+            "emp(a). emp(b). emp(X) -> dept(X, D), mgr(D, M). mgr(D, M) -> boss(M).",
+        )
+        .unwrap();
+        let cc = core_chase(&p, facts(&p), &Budget::default());
+        let rst = chase(&p, ChaseVariant::Restricted, facts(&p), &Budget::default());
+        assert_eq!(cc.outcome, CoreChaseOutcome::Saturated);
+        assert_eq!(rst.outcome, ChaseOutcome::Saturated);
+        assert!(instance_hom_exists(&cc.instance, &rst.instance));
+        assert!(instance_hom_exists(&rst.instance, &cc.instance));
+        assert!(cc.instance.len() <= rst.instance.len());
+    }
+
+    #[test]
+    fn empty_program_is_a_noop() {
+        let p = Program::parse("p(a, b).").unwrap();
+        let r = core_chase(&p, facts(&p), &Budget::default());
+        assert_eq!(r.outcome, CoreChaseOutcome::Saturated);
+        assert_eq!(r.instance.len(), 1);
+        assert_eq!(r.rounds, 1);
+    }
+}

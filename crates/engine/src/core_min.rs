@@ -1,0 +1,287 @@
+//! Cores of instances: folding away redundant nulls.
+//!
+//! A chase result is a *universal model*, but different chase variants
+//! produce different-sized universal models of the same theory. Their
+//! **core** — the smallest instance they retract onto — is unique up to
+//! isomorphism, which makes cores the right tool for comparing chase
+//! variants semantically (two universal models are homomorphically
+//! equivalent iff their cores are isomorphic).
+//!
+//! The implementation is the classic folding loop: while some *proper*
+//! endomorphism exists (an instance→instance homomorphism whose image
+//! loses at least one null), apply it and restart. Core computation is
+//! NP-hard in general; this is intended for the moderate instances that
+//! appear in tests and experiments, and carries an explicit size guard.
+
+use std::ops::ControlFlow;
+
+use chasekit_core::{
+    for_each_hom, Atom, FxHashMap, FxHashSet, Instance, NullId, Term, VarId,
+};
+
+/// Upper bound on nulls for which [`core_of`] will attempt folding.
+pub const MAX_CORE_NULLS: usize = 64;
+
+/// Computes the core of `instance` by iterated folding. Returns `None`
+/// when the instance has more than [`MAX_CORE_NULLS`] nulls (the search
+/// would be unreasonable).
+pub fn core_of(instance: &Instance) -> Option<Instance> {
+    let mut current = instance.clone();
+    loop {
+        let nulls: Vec<NullId> = distinct_nulls(&current);
+        if nulls.len() > MAX_CORE_NULLS {
+            return None;
+        }
+        if nulls.is_empty() {
+            return Some(current);
+        }
+        match find_folding(&current, &nulls) {
+            Some(mapping) => {
+                current = apply_mapping(&current, &mapping);
+            }
+            None => return Some(current),
+        }
+    }
+}
+
+fn distinct_nulls(instance: &Instance) -> Vec<NullId> {
+    let mut seen: FxHashSet<NullId> = FxHashSet::default();
+    let mut out = Vec::new();
+    for (_, atom) in instance.iter() {
+        for n in atom.nulls() {
+            if seen.insert(n) {
+                out.push(n);
+            }
+        }
+    }
+    out
+}
+
+/// Looks for an endomorphism whose image drops at least one null.
+fn find_folding(instance: &Instance, nulls: &[NullId]) -> Option<FxHashMap<NullId, Term>> {
+    // Express the instance as a conjunction with nulls as variables.
+    let var_of: FxHashMap<NullId, VarId> = nulls
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| (n, VarId::from_index(i)))
+        .collect();
+    let patterns: Vec<Atom> = instance
+        .iter()
+        .map(|(_, a)| {
+            a.map_args(|t| match t {
+                Term::Null(n) => Term::Var(var_of[&n]),
+                other => other,
+            })
+        })
+        .collect();
+
+    let mut found: Option<FxHashMap<NullId, Term>> = None;
+    for_each_hom(&patterns, nulls.len(), instance, None, None, &mut |s| {
+        // Does this endomorphism lose a null? (Either maps one to a
+        // constant, or merges two.)
+        let mut image: FxHashSet<Term> = FxHashSet::default();
+        let mut lossy = false;
+        for (i, _) in nulls.iter().enumerate() {
+            let t = s.get(VarId::from_index(i)).expect("total homomorphism");
+            if t.is_const() || !image.insert(t) {
+                lossy = true;
+                break;
+            }
+        }
+        if lossy {
+            let mapping = nulls
+                .iter()
+                .enumerate()
+                .map(|(i, &n)| (n, s.get(VarId::from_index(i)).unwrap()))
+                .collect();
+            found = Some(mapping);
+            ControlFlow::Break(())
+        } else {
+            ControlFlow::Continue(())
+        }
+    });
+    found
+}
+
+fn apply_mapping(instance: &Instance, mapping: &FxHashMap<NullId, Term>) -> Instance {
+    Instance::from_atoms(instance.iter().map(|(_, a)| {
+        a.map_args(|t| match t {
+            Term::Null(n) => mapping.get(&n).copied().unwrap_or(t),
+            other => other,
+        })
+    }))
+}
+
+/// Whether two instances are isomorphic: a bijective, constant-fixing null
+/// renaming turning one into the other. (Both directions of injective
+/// homomorphism over equal cardinalities.)
+pub fn instances_isomorphic(a: &Instance, b: &Instance) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let a_nulls = distinct_nulls(a);
+    let b_nulls = distinct_nulls(b);
+    if a_nulls.len() != b_nulls.len() {
+        return false;
+    }
+    // Injective homomorphism a -> b with full atom coverage is an iso when
+    // sizes match.
+    let var_of: FxHashMap<NullId, VarId> = a_nulls
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| (n, VarId::from_index(i)))
+        .collect();
+    let patterns: Vec<Atom> = a
+        .iter()
+        .map(|(_, atom)| {
+            atom.map_args(|t| match t {
+                Term::Null(n) => Term::Var(var_of[&n]),
+                other => other,
+            })
+        })
+        .collect();
+    let mut iso = false;
+    for_each_hom(&patterns, a_nulls.len(), b, None, None, &mut |s| {
+        let mut image: FxHashSet<Term> = FxHashSet::default();
+        let injective = (0..a_nulls.len()).all(|i| {
+            let t = s.get(VarId::from_index(i)).unwrap();
+            t.is_null() && image.insert(t)
+        });
+        if injective {
+            iso = true;
+            ControlFlow::Break(())
+        } else {
+            ControlFlow::Continue(())
+        }
+    });
+    iso
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chasekit_core::PredId;
+
+    fn c(i: u32) -> Term {
+        Term::Const(chasekit_core::ConstId(i))
+    }
+    fn n(i: u32) -> Term {
+        Term::Null(NullId(i))
+    }
+    fn atom(p: u32, args: Vec<Term>) -> Atom {
+        Atom::new(PredId(p), args)
+    }
+
+    #[test]
+    fn ground_instances_are_their_own_core() {
+        let inst = Instance::from_atoms([atom(0, vec![c(0), c(1)])]);
+        let core = core_of(&inst).unwrap();
+        assert_eq!(core.len(), 1);
+    }
+
+    #[test]
+    fn redundant_null_folds_onto_a_constant() {
+        // e(a, b) and e(a, z): z folds onto b.
+        let inst = Instance::from_atoms([
+            atom(0, vec![c(0), c(1)]),
+            atom(0, vec![c(0), n(0)]),
+        ]);
+        let core = core_of(&inst).unwrap();
+        assert_eq!(core.len(), 1);
+        assert!(core.contains(&atom(0, vec![c(0), c(1)])));
+    }
+
+    #[test]
+    fn non_redundant_null_survives() {
+        // e(a, z) alone: z is the only witness; the core keeps it.
+        let inst = Instance::from_atoms([atom(0, vec![c(0), n(0)])]);
+        let core = core_of(&inst).unwrap();
+        assert_eq!(core.len(), 1);
+        assert_eq!(distinct_nulls(&core).len(), 1);
+    }
+
+    #[test]
+    fn null_chain_folds_partially() {
+        // e(a, z1), e(a, z2), e(z2, z3): z1 merges into z2 (the edge
+        // e(a, z2) covers e(a, z1)), but z2 cannot fold further — its image
+        // would need both an incoming a-edge and an outgoing edge, and only
+        // z2 itself has both. Core: {e(a, z2), e(z2, z3)}.
+        let inst = Instance::from_atoms([
+            atom(0, vec![c(0), n(1)]),
+            atom(0, vec![c(0), n(2)]),
+            atom(0, vec![n(2), n(3)]),
+        ]);
+        let core = core_of(&inst).unwrap();
+        assert_eq!(core.len(), 2);
+        assert_eq!(distinct_nulls(&core).len(), 2);
+    }
+
+    #[test]
+    fn cycles_are_cores() {
+        // Directed null-cycles have only rotation endomorphisms (no
+        // 2-loop inside to retract onto), so they are their own cores.
+        for len in [3u32, 4] {
+            let inst = Instance::from_atoms(
+                (0..len).map(|i| atom(0, vec![n(i), n((i + 1) % len)])),
+            );
+            let core = core_of(&inst).unwrap();
+            assert_eq!(core.len(), len as usize, "C{len} is a core");
+        }
+    }
+
+    #[test]
+    fn pendant_path_folds_into_a_two_cycle() {
+        // 2-cycle with a pendant edge: the pendant folds into the cycle.
+        let inst = Instance::from_atoms([
+            atom(0, vec![n(0), n(1)]),
+            atom(0, vec![n(1), n(0)]),
+            atom(0, vec![n(1), n(2)]),
+        ]);
+        let core = core_of(&inst).unwrap();
+        assert_eq!(core.len(), 2, "pendant edge retracts onto the cycle");
+        let two = Instance::from_atoms([
+            atom(0, vec![n(7), n(8)]),
+            atom(0, vec![n(8), n(7)]),
+        ]);
+        assert!(instances_isomorphic(&core, &two));
+    }
+
+    #[test]
+    fn isomorphism_is_null_renaming_only() {
+        let a = Instance::from_atoms([atom(0, vec![c(0), n(0)])]);
+        let b = Instance::from_atoms([atom(0, vec![c(0), n(9)])]);
+        let diff = Instance::from_atoms([atom(0, vec![c(1), n(0)])]);
+        assert!(instances_isomorphic(&a, &b));
+        assert!(!instances_isomorphic(&a, &diff));
+    }
+
+    #[test]
+    fn cores_of_different_chase_variants_are_isomorphic() {
+        use crate::chase::{chase, Budget};
+        use crate::variant::ChaseVariant;
+        use chasekit_core::Program;
+        let p = Program::parse(
+            "emp(a). emp(b).
+             emp(X) -> dept(X, D), mgr(D, M). mgr(D, M) -> boss(M).",
+        )
+        .unwrap();
+        let db = Instance::from_atoms(p.facts().iter().cloned());
+        let so = chase(&p, ChaseVariant::SemiOblivious, db.clone(), &Budget::default());
+        let rst = chase(&p, ChaseVariant::Restricted, db, &Budget::default());
+        let core_so = core_of(&so.instance).unwrap();
+        let core_rst = core_of(&rst.instance).unwrap();
+        assert!(
+            instances_isomorphic(&core_so, &core_rst),
+            "universal models of the same theory share a core"
+        );
+    }
+
+    #[test]
+    fn oversized_instances_are_refused() {
+        let atoms: Vec<Atom> = (0..(MAX_CORE_NULLS as u32 + 1))
+            .map(|i| atom(0, vec![n(i), n(i + 1000)]))
+            .collect();
+        let inst = Instance::from_atoms(atoms);
+        assert!(core_of(&inst).is_none());
+    }
+}

@@ -1,0 +1,185 @@
+//! Derivation tracking: which trigger application produced which atom.
+//!
+//! The guarded termination procedure needs, for every chase-produced atom:
+//! its creating application, the body-image atoms (in particular the image
+//! of the rule's *guard*), the frontier assignment, the nulls minted by the
+//! application, and birth timestamps. Atom and null ids are monotone, so
+//! ids double as birth clocks; application sequence numbers give a third.
+
+use chasekit_core::{AtomId, FxHashMap, NullId, Term};
+
+/// One trigger application (a single chase step).
+#[derive(Debug, Clone)]
+pub struct Application {
+    /// Index of the applied rule in the program.
+    pub rule: usize,
+    /// Sequence number of this application (0-based, monotone).
+    pub seq: u64,
+    /// Instance ids of the body image, in body-atom order.
+    pub parents: Vec<AtomId>,
+    /// The parent anchoring ancestor chains: the body image of the rule's
+    /// guard when the rule is guarded, otherwise the first body image.
+    pub primary_parent: Option<AtomId>,
+    /// The frontier assignment, in ascending frontier-variable order.
+    pub frontier: Vec<Term>,
+    /// Nulls minted by this application, in ascending existential-variable
+    /// order (empty for Datalog rules).
+    pub born_nulls: Vec<NullId>,
+    /// Atoms this application added to the instance (new atoms only; head
+    /// images that already existed are not listed).
+    pub produced: Vec<AtomId>,
+}
+
+/// The derivation DAG of a chase run.
+#[derive(Debug, Default, Clone)]
+pub struct DerivationDag {
+    apps: Vec<Application>,
+    /// For each atom: the application that first created it (absent for
+    /// atoms of the initial instance).
+    creator: FxHashMap<AtomId, usize>,
+    /// For each atom: its derivation depth (0 for initial atoms, else
+    /// 1 + max over parents).
+    depth: FxHashMap<AtomId, u32>,
+    /// For each null: the application that minted it.
+    null_birth: FxHashMap<NullId, u64>,
+}
+
+impl DerivationDag {
+    /// Creates an empty DAG.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an application; returns its index. The caller appends
+    /// produced atoms via [`DerivationDag::record_atom`].
+    pub fn push_application(&mut self, app: Application) -> usize {
+        for &n in &app.born_nulls {
+            self.null_birth.insert(n, app.seq);
+        }
+        self.apps.push(app);
+        self.apps.len() - 1
+    }
+
+    /// Records that `atom` was first created by application `app_idx`.
+    pub fn record_atom(&mut self, atom: AtomId, app_idx: usize) {
+        debug_assert!(!self.creator.contains_key(&atom));
+        let parent_depth = self.apps[app_idx]
+            .parents
+            .iter()
+            .map(|p| self.depth_of(*p))
+            .max()
+            .unwrap_or(0);
+        self.creator.insert(atom, app_idx);
+        self.depth.insert(atom, parent_depth + 1);
+        self.apps[app_idx].produced.push(atom);
+    }
+
+    /// The application that created `atom`, if it is not an initial atom.
+    pub fn creator_of(&self, atom: AtomId) -> Option<&Application> {
+        self.creator.get(&atom).map(|&i| &self.apps[i])
+    }
+
+    /// Derivation depth of an atom (0 for initial atoms).
+    pub fn depth_of(&self, atom: AtomId) -> u32 {
+        self.depth.get(&atom).copied().unwrap_or(0)
+    }
+
+    /// The application sequence number that minted `null`, if tracked.
+    pub fn null_birth(&self, null: NullId) -> Option<u64> {
+        self.null_birth.get(&null).copied()
+    }
+
+    /// All applications, in sequence order.
+    pub fn applications(&self) -> &[Application] {
+        &self.apps
+    }
+
+    /// Walks the primary-ancestor chain of `atom`: the primary parent of
+    /// its creating application, then that atom's primary parent, and so on
+    /// up to an initial atom. For guarded rules this is the guard chain.
+    /// The returned chain starts with `atom`'s primary parent (i.e.
+    /// excludes `atom` itself).
+    pub fn ancestor_chain(&self, mut atom: AtomId) -> Vec<AtomId> {
+        let mut chain = Vec::new();
+        while let Some(app) = self.creator_of(atom) {
+            match app.primary_parent {
+                Some(g) => {
+                    chain.push(g);
+                    atom = g;
+                }
+                None => break,
+            }
+        }
+        chain
+    }
+
+    /// Maximum derivation depth over all recorded atoms.
+    pub fn max_depth(&self) -> u32 {
+        self.depth.values().copied().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn app(rule: usize, seq: u64, parents: Vec<AtomId>, guard: Option<AtomId>) -> Application {
+        Application {
+            rule,
+            seq,
+            parents,
+            primary_parent: guard,
+            frontier: vec![],
+            born_nulls: vec![],
+            produced: vec![],
+        }
+    }
+
+    #[test]
+    fn depth_accumulates_along_parents() {
+        let mut dag = DerivationDag::new();
+        // Initial atom 0 (not recorded). App 0 creates atom 1 from atom 0.
+        let a0 = dag.push_application(app(0, 0, vec![AtomId(0)], Some(AtomId(0))));
+        dag.record_atom(AtomId(1), a0);
+        // App 1 creates atom 2 from atom 1.
+        let a1 = dag.push_application(app(0, 1, vec![AtomId(1)], Some(AtomId(1))));
+        dag.record_atom(AtomId(2), a1);
+        assert_eq!(dag.depth_of(AtomId(0)), 0);
+        assert_eq!(dag.depth_of(AtomId(1)), 1);
+        assert_eq!(dag.depth_of(AtomId(2)), 2);
+        assert_eq!(dag.max_depth(), 2);
+    }
+
+    #[test]
+    fn ancestor_chain_walks_to_initial() {
+        let mut dag = DerivationDag::new();
+        let a0 = dag.push_application(app(0, 0, vec![AtomId(0)], Some(AtomId(0))));
+        dag.record_atom(AtomId(1), a0);
+        let a1 = dag.push_application(app(1, 1, vec![AtomId(1)], Some(AtomId(1))));
+        dag.record_atom(AtomId(2), a1);
+        assert_eq!(dag.ancestor_chain(AtomId(2)), vec![AtomId(1), AtomId(0)]);
+        assert!(dag.ancestor_chain(AtomId(0)).is_empty());
+    }
+
+    #[test]
+    fn null_births_are_tracked() {
+        let mut dag = DerivationDag::new();
+        let mut a = app(0, 7, vec![AtomId(0)], None);
+        a.born_nulls = vec![NullId(3)];
+        dag.push_application(a);
+        assert_eq!(dag.null_birth(NullId(3)), Some(7));
+        assert_eq!(dag.null_birth(NullId(4)), None);
+    }
+
+    #[test]
+    fn creator_and_produced_are_linked() {
+        let mut dag = DerivationDag::new();
+        let i = dag.push_application(app(2, 0, vec![AtomId(0)], None));
+        dag.record_atom(AtomId(5), i);
+        dag.record_atom(AtomId(6), i);
+        let a = dag.creator_of(AtomId(5)).unwrap();
+        assert_eq!(a.rule, 2);
+        assert_eq!(a.produced, vec![AtomId(5), AtomId(6)]);
+        assert!(dag.creator_of(AtomId(0)).is_none());
+    }
+}

@@ -1,0 +1,41 @@
+//! # chasekit-engine
+//!
+//! Chase engines over the `chasekit-core` data model: the **oblivious**,
+//! **semi-oblivious**, and **restricted** chase with fair FIFO scheduling,
+//! budgets, derivation tracking, and Skolem-cyclicity tracking (the
+//! ingredient of model-faithful acyclicity).
+//!
+//! The stepwise [`ChaseMachine`] is what the termination procedures drive;
+//! [`fn@chase`] and [`chase_facts`] are one-shot conveniences.
+//!
+//! ```
+//! use chasekit_core::Program;
+//! use chasekit_engine::{chase_facts, Budget, ChaseOutcome, ChaseVariant};
+//!
+//! // Paper, Example 2: diverges under every chase variant.
+//! let p = Program::parse("p(a, b). p(X, Y) -> p(Y, Z).").unwrap();
+//! let run = chase_facts(&p, ChaseVariant::SemiOblivious, &Budget::applications(50));
+//! assert_eq!(run.outcome, ChaseOutcome::BudgetExhausted);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod chase;
+pub mod core_chase;
+pub mod core_min;
+pub mod derivation;
+pub mod dot;
+pub mod query;
+pub mod variant;
+
+pub use chase::{
+    chase, chase_facts, contains_instance, is_model, Budget, ChaseConfig, ChaseMachine,
+    ChaseOutcome, ChaseResult, ChaseStats, Scheduling, StepEvent,
+};
+pub use core_chase::{core_chase, CoreChaseOutcome, CoreChaseResult};
+pub use core_min::{core_of, instances_isomorphic, MAX_CORE_NULLS};
+pub use derivation::{Application, DerivationDag};
+pub use dot::derivation_to_dot;
+pub use query::{certain_answers, certainly_holds, ConjunctiveQuery, QueryError};
+pub use variant::ChaseVariant;

@@ -1,0 +1,246 @@
+//! Conjunctive-query answering over chase results.
+//!
+//! The point of computing universal models: a Boolean conjunctive query is
+//! *certain* (true in every model of `D ∧ Σ`) iff it maps homomorphically
+//! into a universal model — i.e. into a terminating chase result. For
+//! non-Boolean queries, the certain answers are the answer tuples that
+//! contain no nulls.
+//!
+//! These helpers require a **saturated** chase result; they refuse partial
+//! (budget-exhausted) instances, because a partial instance can only prove
+//! positive answers, not certain absence.
+
+use std::ops::ControlFlow;
+
+use chasekit_core::{
+    for_each_hom, Atom, CoreError, FxHashSet, Instance, Program, Term, VarId,
+};
+
+use crate::chase::{chase, Budget, ChaseOutcome, ChaseResult};
+use crate::variant::ChaseVariant;
+
+/// A conjunctive query: a conjunction of atoms over query variables, with a
+/// designated tuple of answer variables.
+#[derive(Debug, Clone)]
+pub struct ConjunctiveQuery {
+    atoms: Vec<Atom>,
+    var_count: usize,
+    answer_vars: Vec<VarId>,
+}
+
+impl ConjunctiveQuery {
+    /// Builds a query from atoms (variables indexed densely from 0).
+    ///
+    /// `answer_vars` selects the output tuple; empty means Boolean.
+    pub fn new(atoms: Vec<Atom>, var_count: usize, answer_vars: Vec<VarId>) -> Self {
+        ConjunctiveQuery { atoms, var_count, answer_vars }
+    }
+
+    /// Parses a query from the rule syntax: the *body* of a rule whose head
+    /// is the reserved predicate `ans(...)` listing the answer variables,
+    /// e.g. `e(X, Y), e(Y, Z) -> ans(X, Z).` — resolved against an existing
+    /// program's vocabulary (predicates must already be declared).
+    pub fn parse(program: &mut Program, text: &str) -> Result<Self, CoreError> {
+        let parsed = Program::parse(text)?;
+        let rules = parsed.rules();
+        if rules.len() != 1 {
+            return Err(CoreError::Parse(chasekit_core::ParseError {
+                line: 1,
+                col: 1,
+                message: "a query is exactly one rule with head predicate `ans`".into(),
+            }));
+        }
+        let rule = &rules[0];
+        if rule.head().len() != 1 || parsed.vocab.pred_name(rule.head()[0].pred) != "ans" {
+            return Err(CoreError::Parse(chasekit_core::ParseError {
+                line: 1,
+                col: 1,
+                message: "the query head must be a single `ans(...)` atom".into(),
+            }));
+        }
+
+        // Remap predicates/constants into the target program's vocabulary.
+        let mut atoms = Vec::with_capacity(rule.body().len());
+        for atom in rule.body() {
+            let name = parsed.vocab.pred_name(atom.pred);
+            let pred = program.vocab.declare_pred(name, atom.arity())?;
+            let args = atom
+                .args
+                .iter()
+                .map(|t| match *t {
+                    Term::Const(c) => {
+                        Term::Const(program.vocab.intern_const(parsed.vocab.const_name(c)))
+                    }
+                    other => other,
+                })
+                .collect();
+            atoms.push(Atom::new(pred, args));
+        }
+        let answer_vars = rule.head()[0]
+            .args
+            .iter()
+            .map(|t| {
+                t.as_var().ok_or_else(|| {
+                    CoreError::Parse(chasekit_core::ParseError {
+                        line: 1,
+                        col: 1,
+                        message: "answer positions must be variables".into(),
+                    })
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ConjunctiveQuery { atoms, var_count: rule.var_count(), answer_vars })
+    }
+
+    /// All answer tuples over an instance (may contain nulls).
+    pub fn all_answers(&self, instance: &Instance) -> Vec<Vec<Term>> {
+        let mut seen: FxHashSet<Vec<Term>> = FxHashSet::default();
+        let mut out = Vec::new();
+        for_each_hom(&self.atoms, self.var_count, instance, None, None, &mut |s| {
+            let tuple = s.project(&self.answer_vars);
+            if seen.insert(tuple.clone()) {
+                out.push(tuple);
+            }
+            ControlFlow::Continue(())
+        });
+        out
+    }
+
+    /// Whether the Boolean query holds in the instance.
+    pub fn holds_in(&self, instance: &Instance) -> bool {
+        !for_each_hom(&self.atoms, self.var_count, instance, None, None, &mut |_| {
+            ControlFlow::Break(())
+        })
+    }
+}
+
+/// Errors of certain-answer computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// The chase did not terminate within budget: certain answers cannot be
+    /// computed from a partial universal model.
+    ChaseDidNotTerminate,
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::ChaseDidNotTerminate => {
+                write!(f, "the chase did not terminate within the budget")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// Certain answers of a CQ over `D ∧ Σ`: chase, then keep only null-free
+/// answer tuples.
+pub fn certain_answers(
+    program: &Program,
+    database: Instance,
+    query: &ConjunctiveQuery,
+    budget: &Budget,
+) -> Result<Vec<Vec<Term>>, QueryError> {
+    let ChaseResult { outcome, instance, .. } =
+        chase(program, ChaseVariant::Restricted, database, budget);
+    if outcome != ChaseOutcome::Saturated {
+        return Err(QueryError::ChaseDidNotTerminate);
+    }
+    let mut answers: Vec<Vec<Term>> = query
+        .all_answers(&instance)
+        .into_iter()
+        .filter(|tuple| tuple.iter().all(|t| t.is_const()))
+        .collect();
+    answers.sort();
+    Ok(answers)
+}
+
+/// Certain truth of a Boolean CQ.
+pub fn certainly_holds(
+    program: &Program,
+    database: Instance,
+    query: &ConjunctiveQuery,
+    budget: &Budget,
+) -> Result<bool, QueryError> {
+    let ChaseResult { outcome, instance, .. } =
+        chase(program, ChaseVariant::Restricted, database, budget);
+    if outcome != ChaseOutcome::Saturated {
+        return Err(QueryError::ChaseDidNotTerminate);
+    }
+    Ok(query.holds_in(&instance))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db(program: &Program) -> Instance {
+        Instance::from_atoms(program.facts().iter().cloned())
+    }
+
+    #[test]
+    fn certain_answers_over_a_terminating_ontology() {
+        let mut p = Program::parse(
+            "emp(ada). emp(grace).
+             emp(X) -> dept(X, D).
+             dept(X, D) -> unit(D).",
+        )
+        .unwrap();
+        let q = ConjunctiveQuery::parse(&mut p, "dept(X, D) -> ans(X).").unwrap();
+        let answers = certain_answers(&p, db(&p), &q, &Budget::default()).unwrap();
+        // Each employee certainly has a department; D itself is a null and
+        // is projected away.
+        assert_eq!(answers.len(), 2);
+    }
+
+    #[test]
+    fn null_valued_tuples_are_not_certain() {
+        let mut p = Program::parse("emp(ada). emp(X) -> dept(X, D).").unwrap();
+        let q = ConjunctiveQuery::parse(&mut p, "dept(X, D) -> ans(D).").unwrap();
+        let answers = certain_answers(&p, db(&p), &q, &Budget::default()).unwrap();
+        assert!(answers.is_empty(), "the department id is a null, not a certain answer");
+        // But the Boolean projection is certain.
+        let b = ConjunctiveQuery::parse(&mut p, "dept(X, D) -> ans().").unwrap();
+        assert!(certainly_holds(&p, db(&p), &b, &Budget::default()).unwrap());
+    }
+
+    #[test]
+    fn join_queries_follow_nulls() {
+        let mut p = Program::parse(
+            "person(bob).
+             person(X) -> father(X, Y).
+             father(X, Y) -> person2(Y).",
+        )
+        .unwrap();
+        // Is there someone with a father who is a person2? (Joins through
+        // the null.)
+        let q = ConjunctiveQuery::parse(&mut p, "father(X, Y), person2(Y) -> ans(X).").unwrap();
+        let answers = certain_answers(&p, db(&p), &q, &Budget::default()).unwrap();
+        assert_eq!(answers.len(), 1);
+    }
+
+    #[test]
+    fn non_terminating_chase_is_refused() {
+        let mut p = Program::parse("p(a, b). p(X, Y) -> p(Y, Z).").unwrap();
+        let q = ConjunctiveQuery::parse(&mut p, "p(X, Y) -> ans(X).").unwrap();
+        let err = certain_answers(&p, db(&p), &q, &Budget::applications(50)).unwrap_err();
+        assert_eq!(err, QueryError::ChaseDidNotTerminate);
+    }
+
+    #[test]
+    fn query_parse_errors() {
+        let mut p = Program::parse("e(a, b).").unwrap();
+        assert!(ConjunctiveQuery::parse(&mut p, "e(X, Y) -> wrong(X).").is_err());
+        assert!(ConjunctiveQuery::parse(&mut p, "e(X, Y) -> ans(X). e(X, Y) -> ans(Y).").is_err());
+        assert!(ConjunctiveQuery::parse(&mut p, "e(X, Y) -> ans(a).").is_err());
+    }
+
+    #[test]
+    fn constants_in_queries_filter() {
+        let mut p = Program::parse("e(a, b). e(b, c).").unwrap();
+        let q = ConjunctiveQuery::parse(&mut p, "e(a, Y) -> ans(Y).").unwrap();
+        let answers = certain_answers(&p, db(&p), &q, &Budget::default()).unwrap();
+        assert_eq!(answers.len(), 1);
+    }
+}

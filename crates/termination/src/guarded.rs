@@ -1,0 +1,684 @@
+//! Chase-termination decision for **guarded** TGDs (paper, Theorem 4).
+//!
+//! # The procedure
+//!
+//! The paper proves that deciding `CT°`/`CTˢ°` for guarded TGDs is
+//! 2EXPTIME-complete (EXPTIME for bounded arity) via an alternating
+//! algorithm over doubly-exponentially many "types". Running that algorithm
+//! literally is infeasible; this module implements a semantically grounded
+//! on-the-fly equivalent:
+//!
+//! run the (semi-)oblivious chase on the **critical instance** — by
+//! Marnette's simulation lemma the chase terminates on all databases iff it
+//! terminates here — and, after every step, search the new atom's
+//! **guard-ancestor chain** for a *pumping certificate*. Saturation without
+//! a certificate proves termination; a certificate proves divergence; fuel
+//! exhaustion is reported honestly as `Unknown`.
+//!
+//! # The pumping certificate
+//!
+//! A certificate is a pair of atoms `a` (ancestor) and `b` (descendant on
+//! `a`'s guard chain) such that:
+//!
+//! * **(A)** the positional map `φ : terms(a) → terms(b)` is well defined,
+//!   injective, and fixes constants (so `a` and `b` have the same shape);
+//! * **(B)** for every atom `x` in `b`'s derivation support whose terms lie
+//!   within `terms(a) ∪ constants`, the image `φ(x)` is in the current
+//!   instance (the side conditions of the derivation are reproducible one
+//!   level deeper);
+//! * **(E)** `b` carries at least one null minted by its own creating
+//!   application (the segment makes strict progress);
+//! * **(F)** every null moved by `φ` maps to a strictly younger null;
+//! * **(D)** the identity of `b`'s creating trigger (frontier for the
+//!   semi-oblivious chase, the whole body image for the oblivious chase)
+//!   contains a null that `φ` moves or that was minted inside the segment
+//!   (the repetition is driven by fresh material, not by a fixed trigger
+//!   that would be deduplicated).
+//!
+//! **Soundness.** Suppose the conditions hold and, for contradiction, the
+//! chase saturates. Replay the segment's derivation support through `φ`:
+//! every step's body image is present (old side atoms by (B), earlier
+//! replayed outputs by induction), so every step's trigger either was
+//! already applied — its outputs, minted *after* its identity nulls
+//! existed, are strictly younger — or is a new pending trigger,
+//! contradicting saturation. If all rounds' triggers were always already
+//! applied, round `k`'s final identity contains a strictly older-to-younger
+//! growing null by (D)+(F), so the rounds consume infinitely many distinct
+//! past applications — impossible in a saturated (finite) run. Hence no
+//! saturation point exists and the chase diverges.
+//!
+//! **Completeness.** An infinite guarded chase has an infinite guard chain
+//! (the derivation forest is finitely branching — König); along it,
+//! atom shapes and stabilized clouds range over finitely many isomorphism
+//! types, so a pumpable pair eventually appears. The fuel bound makes the
+//! doubly-exponential worst case an explicit `Unknown` instead of a silent
+//! wrong answer; the experiments (E4) cross-validate against ground truth.
+
+use chasekit_core::{
+    Atom, AtomId, CriticalInstance, FxHashMap, FxHashSet, NullId, Program, RuleClass, Term,
+};
+use chasekit_engine::{ChaseConfig, ChaseMachine, ChaseStats, ChaseVariant};
+
+/// Errors of the guarded analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GuardedError {
+    /// The rule set is not guarded.
+    NotGuarded,
+    /// The analysis only covers the oblivious and semi-oblivious chase.
+    UnsupportedVariant,
+}
+
+impl std::fmt::Display for GuardedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GuardedError::NotGuarded => write!(f, "the rule set is not guarded"),
+            GuardedError::UnsupportedVariant => {
+                write!(f, "guarded analysis supports the oblivious and semi-oblivious chase only")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GuardedError {}
+
+/// A divergence witness: the pumpable ancestor/descendant pair.
+#[derive(Debug, Clone)]
+pub struct PumpingCertificate {
+    /// The ancestor atom.
+    pub ancestor: Atom,
+    /// The descendant atom (same shape, strictly younger nulls).
+    pub descendant: Atom,
+    /// Guard-chain distance from descendant to ancestor.
+    pub chain_length: usize,
+}
+
+/// The three-valued answer of the fuel-bounded procedure.
+#[derive(Debug, Clone)]
+pub enum GuardedVerdict {
+    /// The chase terminates on **all** databases.
+    Terminates,
+    /// The chase diverges on the critical instance (hence on some database).
+    Diverges(PumpingCertificate),
+    /// Fuel ran out before saturation or certification.
+    Unknown,
+}
+
+impl GuardedVerdict {
+    /// `Some(true)` / `Some(false)` for decided verdicts, `None` otherwise.
+    pub fn terminates(&self) -> Option<bool> {
+        match self {
+            GuardedVerdict::Terminates => Some(true),
+            GuardedVerdict::Diverges(_) => Some(false),
+            GuardedVerdict::Unknown => None,
+        }
+    }
+}
+
+/// Tunables of the guarded procedure.
+#[derive(Debug, Clone, Copy)]
+pub struct GuardedConfig {
+    /// Chase variant (oblivious or semi-oblivious).
+    pub variant: ChaseVariant,
+    /// Fuel: maximum trigger applications before giving up.
+    pub max_applications: u64,
+    /// Fuel: maximum instance size before giving up.
+    pub max_atoms: usize,
+    /// Use the paper's standard-database critical instance.
+    pub standard: bool,
+    /// Cap on derivation-support size per certificate check.
+    pub max_support: usize,
+    /// Ablation switch: disable the deferred re-check index (pairs whose
+    /// certificate fails only on a not-yet-derived side condition are
+    /// retried when the missing atom arrives). With this off, divergences
+    /// whose side conditions lag one round are never certified and end in
+    /// `Unknown` — see `benches/ablation.rs` for the measured impact.
+    pub defer_rechecks: bool,
+}
+
+impl GuardedConfig {
+    /// Defaults: semi-oblivious, generous fuel.
+    pub fn new(variant: ChaseVariant) -> Self {
+        GuardedConfig {
+            variant,
+            max_applications: 50_000,
+            max_atoms: 500_000,
+            standard: false,
+            max_support: 10_000,
+            defer_rechecks: true,
+        }
+    }
+}
+
+/// Report of a guarded decision run.
+#[derive(Debug)]
+pub struct GuardedReport {
+    /// The verdict.
+    pub verdict: GuardedVerdict,
+    /// Chase statistics of the exploration.
+    pub stats: ChaseStats,
+}
+
+/// Decides chase termination for a guarded rule set.
+///
+/// This is the paper's Theorem 4 procedure: for guarded inputs the pumping
+/// search is complete (modulo fuel), so `Terminates`/`Diverges` answers are
+/// both proofs.
+pub fn decide_guarded(program: &Program, config: GuardedConfig) -> Result<GuardedReport, GuardedError> {
+    if program.class() > RuleClass::Guarded {
+        return Err(GuardedError::NotGuarded);
+    }
+    pumping_decide(program, config)
+}
+
+/// The pumping semi-decision procedure for **arbitrary** TGDs.
+///
+/// Soundness of both answers does not use guardedness (see the module docs:
+/// the replay argument only needs the derivation-support invariants), so
+/// this is available for any rule set; what is lost outside the guarded
+/// class is the completeness guarantee — expect more `Unknown`s.
+pub fn pumping_decide(program: &Program, config: GuardedConfig) -> Result<GuardedReport, GuardedError> {
+    if config.variant == ChaseVariant::Restricted {
+        return Err(GuardedError::UnsupportedVariant);
+    }
+
+    let mut program = program.clone();
+    let crit = if config.standard {
+        CriticalInstance::standard(&mut program)
+    } else {
+        CriticalInstance::build(&mut program)
+    };
+
+    let mut machine = ChaseMachine::new(
+        &program,
+        ChaseConfig::of(config.variant).with_derivation(),
+        crit.instance,
+    );
+
+    // Pairs (descendant, ancestor, chain distance) whose certificate check
+    // failed only because a φ-image was not in the instance *yet*, indexed
+    // by the missing atom. Datalog side conditions are derived one round
+    // after the atoms they accompany, so these re-checks are essential for
+    // completeness, not an optimization.
+    let mut pending: FxHashMap<Atom, Vec<(AtomId, AtomId, usize)>> = FxHashMap::default();
+
+    loop {
+        if machine.stats().applications >= config.max_applications
+            || machine.instance().len() >= config.max_atoms
+        {
+            return Ok(GuardedReport {
+                verdict: GuardedVerdict::Unknown,
+                stats: machine.stats().clone(),
+            });
+        }
+        let Some(event) = machine.step() else {
+            return Ok(GuardedReport {
+                verdict: GuardedVerdict::Terminates,
+                stats: machine.stats().clone(),
+            });
+        };
+        for &new_atom in &event.new_atoms {
+            // Re-check pairs that were waiting for exactly this atom.
+            let waiting = if config.defer_rechecks {
+                pending.remove(machine.instance().atom(new_atom))
+            } else {
+                None
+            };
+            if let Some(pairs) = waiting {
+                for (b_id, a_id, dist) in pairs {
+                    match certify_pair(&machine, a_id, b_id, &config) {
+                        CertOutcome::Certified => {
+                            return Ok(GuardedReport {
+                                verdict: GuardedVerdict::Diverges(make_certificate(
+                                    &machine, a_id, b_id, dist,
+                                )),
+                                stats: machine.stats().clone(),
+                            });
+                        }
+                        CertOutcome::Missing(atom) => {
+                            pending.entry(atom).or_default().push((b_id, a_id, dist));
+                        }
+                        CertOutcome::Failed => {}
+                    }
+                }
+            }
+
+            // Fresh checks along the new atom's guard chain.
+            if let Some(cert) = scan_chain(&machine, new_atom, &config, &mut pending) {
+                let stats = machine.stats().clone();
+                return Ok(GuardedReport { verdict: GuardedVerdict::Diverges(cert), stats });
+            }
+        }
+    }
+}
+
+fn make_certificate(
+    machine: &ChaseMachine<'_>,
+    a_id: AtomId,
+    b_id: AtomId,
+    dist: usize,
+) -> PumpingCertificate {
+    PumpingCertificate {
+        ancestor: machine.instance().atom(a_id).clone(),
+        descendant: machine.instance().atom(b_id).clone(),
+        chain_length: dist,
+    }
+}
+
+/// Searches `b`'s guard-ancestor chain for a pumpable ancestor, filing
+/// not-yet-provable pairs under the atoms they wait for.
+fn scan_chain(
+    machine: &ChaseMachine<'_>,
+    b_id: AtomId,
+    config: &GuardedConfig,
+    pending: &mut FxHashMap<Atom, Vec<(AtomId, AtomId, usize)>>,
+) -> Option<PumpingCertificate> {
+    let derivation = machine.derivation();
+    let instance = machine.instance();
+    let b = instance.atom(b_id);
+
+    // (E) b must carry a null minted by its creator.
+    let creator = derivation.creator_of(b_id)?;
+    if !creator.born_nulls.iter().any(|&n| b.mentions(Term::Null(n))) {
+        return None;
+    }
+
+    let chain = derivation.ancestor_chain(b_id);
+    for (dist, &a_id) in chain.iter().enumerate() {
+        let a = instance.atom(a_id);
+        if a.pred != b.pred {
+            continue;
+        }
+        match certify_pair(machine, a_id, b_id, config) {
+            CertOutcome::Certified => {
+                return Some(make_certificate(machine, a_id, b_id, dist + 1));
+            }
+            CertOutcome::Missing(atom) => {
+                pending.entry(atom).or_default().push((b_id, a_id, dist + 1));
+            }
+            CertOutcome::Failed => {}
+        }
+    }
+    None
+}
+
+/// Result of one certificate attempt.
+enum CertOutcome {
+    /// All conditions hold: divergence certified.
+    Certified,
+    /// Structurally impossible for this pair; never retry.
+    Failed,
+    /// Conditions hold except one φ-image is not (yet) in the instance.
+    Missing(Atom),
+}
+
+/// Runs the full condition check for the pair `(a, b)`.
+fn certify_pair(
+    machine: &ChaseMachine<'_>,
+    a_id: AtomId,
+    b_id: AtomId,
+    config: &GuardedConfig,
+) -> CertOutcome {
+    let instance = machine.instance();
+    let a = instance.atom(a_id);
+    let b = instance.atom(b_id);
+    let Some(phi) = build_phi(a, b) else {
+        return CertOutcome::Failed;
+    };
+    check_certificate(machine, a_id, b_id, &phi, config)
+}
+
+/// Builds the positional map φ: terms(a) → terms(b), requiring constants to
+/// be fixed, nulls to map to nulls injectively, and — condition (F) — moved
+/// nulls to map to strictly younger nulls.
+fn build_phi(a: &Atom, b: &Atom) -> Option<FxHashMap<NullId, NullId>> {
+    debug_assert_eq!(a.pred, b.pred);
+    let mut phi: FxHashMap<NullId, NullId> = FxHashMap::default();
+    let mut image: FxHashSet<NullId> = FxHashSet::default();
+    for (&ta, &tb) in a.args.iter().zip(&b.args) {
+        match (ta, tb) {
+            (Term::Const(x), Term::Const(y)) => {
+                if x != y {
+                    return None;
+                }
+            }
+            (Term::Null(n), Term::Null(m)) => {
+                match phi.get(&n) {
+                    Some(&prev) => {
+                        if prev != m {
+                            return None;
+                        }
+                    }
+                    None => {
+                        if !image.insert(m) {
+                            return None; // not injective
+                        }
+                        if m != n && m < n {
+                            return None; // (F) moved nulls must be younger
+                        }
+                        phi.insert(n, m);
+                    }
+                }
+            }
+            _ => return None,
+        }
+    }
+    // The identity map would mean a == b, which cannot happen for distinct
+    // instance atoms of the same predicate; keep the check cheap anyway.
+    if phi.iter().all(|(n, m)| n == m) {
+        return None;
+    }
+    Some(phi)
+}
+
+/// Applies φ (identity on constants and unmapped nulls) to an atom.
+fn apply_phi(atom: &Atom, phi: &FxHashMap<NullId, NullId>) -> Atom {
+    atom.map_args(|t| match t {
+        Term::Null(n) => Term::Null(phi.get(&n).copied().unwrap_or(n)),
+        other => other,
+    })
+}
+
+/// Checks conditions (B) and (D) for the pair `(a, b)` under `phi`.
+fn check_certificate(
+    machine: &ChaseMachine<'_>,
+    a_id: AtomId,
+    b_id: AtomId,
+    phi: &FxHashMap<NullId, NullId>,
+    config: &GuardedConfig,
+) -> CertOutcome {
+    let derivation = machine.derivation();
+    let instance = machine.instance();
+    let a = instance.atom(a_id);
+
+    let a_nulls: FxHashSet<NullId> = a.nulls().into_iter().collect();
+    let moved: FxHashSet<NullId> =
+        phi.iter().filter(|(n, m)| n != m).map(|(&n, _)| n).collect();
+    if moved.is_empty() {
+        return CertOutcome::Failed;
+    }
+
+    // Is every term of `atom` within terms(a) ∪ constants?
+    let is_old = |atom: &Atom| {
+        atom.args.iter().all(|t| match *t {
+            Term::Const(_) => true,
+            Term::Null(n) => a_nulls.contains(&n),
+            Term::Var(_) => unreachable!("instance atoms are ground"),
+        })
+    };
+
+    // (D): the final trigger's identity must be driven by moved or
+    // segment-fresh material. Checked before (B) because it is static for
+    // the pair — if it fails, the pair can never be certified.
+    // `support_born` is completed during the walk below, so the (D) check
+    // proper happens after it; here we only resolve the identity nulls.
+    let creator = derivation
+        .creator_of(b_id)
+        .expect("b has a creator by construction");
+    let identity_nulls: Vec<NullId> = match config.variant {
+        ChaseVariant::SemiOblivious => creator
+            .frontier
+            .iter()
+            .filter_map(|t| t.as_null())
+            .collect(),
+        ChaseVariant::Oblivious => {
+            let mut nulls = Vec::new();
+            for &p in &creator.parents {
+                for n in instance.atom(p).nulls() {
+                    nulls.push(n);
+                }
+            }
+            nulls
+        }
+        ChaseVariant::Restricted => unreachable!(),
+    };
+
+    // Walk b's derivation support: ancestors through creating applications,
+    // stopping at old atoms (side conditions) and initial atoms.
+    let mut support_born: FxHashSet<NullId> = FxHashSet::default();
+    let mut seen: FxHashSet<AtomId> = FxHashSet::default();
+    let mut stack = vec![b_id];
+    let mut support_size = 0usize;
+    let mut missing: Option<Atom> = None;
+    while let Some(x_id) = stack.pop() {
+        if !seen.insert(x_id) {
+            continue;
+        }
+        support_size += 1;
+        if support_size > config.max_support {
+            return CertOutcome::Failed; // too big to certify; completeness hit only
+        }
+        let x = instance.atom(x_id);
+        if is_old(x) && x_id != b_id {
+            // (B): the side condition must be reproducible one level deeper.
+            let image = apply_phi(x, phi);
+            if !instance.contains(&image) && missing.is_none() {
+                // Keep walking to complete `support_born` for (D), but
+                // remember the first missing image.
+                missing = Some(image);
+            }
+            continue;
+        }
+        match derivation.creator_of(x_id) {
+            Some(app) => {
+                support_born.extend(app.born_nulls.iter().copied());
+                for &p in &app.parents {
+                    stack.push(p);
+                }
+            }
+            None => {
+                // An initial atom: the critical instance is null-free, so a
+                // non-old initial atom cannot occur.
+                debug_assert!(is_old(x));
+                if !is_old(x) {
+                    return CertOutcome::Failed;
+                }
+            }
+        }
+    }
+
+    if !identity_nulls
+        .iter()
+        .any(|n| moved.contains(n) || support_born.contains(n))
+    {
+        return CertOutcome::Failed;
+    }
+
+    match missing {
+        Some(atom) => CertOutcome::Missing(atom),
+        None => CertOutcome::Certified,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decide(src: &str, variant: ChaseVariant) -> GuardedVerdict {
+        let p = Program::parse(src).unwrap();
+        decide_guarded(&p, GuardedConfig::new(variant)).unwrap().verdict
+    }
+
+    fn so(src: &str) -> Option<bool> {
+        decide(src, ChaseVariant::SemiOblivious).terminates()
+    }
+    fn ob(src: &str) -> Option<bool> {
+        decide(src, ChaseVariant::Oblivious).terminates()
+    }
+
+    #[test]
+    fn example1_diverges() {
+        let src = "person(X) -> hasFather(X, Y), person(Y).";
+        assert_eq!(so(src), Some(false));
+        assert_eq!(ob(src), Some(false));
+    }
+
+    #[test]
+    fn example2_diverges() {
+        let src = "p(X, Y) -> p(Y, Z).";
+        assert_eq!(so(src), Some(false));
+        assert_eq!(ob(src), Some(false));
+    }
+
+    #[test]
+    fn classic_separator() {
+        let src = "r(X, Y) -> r(X, Z).";
+        assert_eq!(so(src), Some(true));
+        assert_eq!(ob(src), Some(false));
+    }
+
+    #[test]
+    fn copy_rule_terminates() {
+        let src = "p(X, Y) -> q(X, Y).";
+        assert_eq!(so(src), Some(true));
+        assert_eq!(ob(src), Some(true));
+    }
+
+    #[test]
+    fn guarded_multibody_terminating() {
+        // The guard r carries both variables; the side atom p filters.
+        let src = "r(X, Y), p(X) -> s(X, Y). s(X, Y) -> p(Y).";
+        assert_eq!(so(src), Some(true));
+        assert_eq!(ob(src), Some(true));
+    }
+
+    #[test]
+    fn guarded_multibody_diverging() {
+        // The guard feeds an existential that re-enters the guard predicate.
+        let src = "r(X, Y), p(X) -> r(Y, Z). r(X, Y) -> p(X).";
+        assert_eq!(so(src), Some(false));
+        assert_eq!(ob(src), Some(false));
+    }
+
+    #[test]
+    fn datalog_terminates() {
+        let src = "e(X, Y), t(Y, Z) -> t(X, Z). e(X, Y) -> t(X, Y).";
+        // Note: e(X,Y),t(Y,Z) is guarded? No single atom contains X,Y,Z.
+        // Use a guarded variant instead.
+        let p = Program::parse(src).unwrap();
+        if p.class() > RuleClass::Guarded {
+            // Fall back to a genuinely guarded Datalog set.
+            let src = "t(X, Y, Z), e(X, Y) -> t2(X, Z). t2(X, Z) -> e(X, Z).";
+            assert_eq!(so(src), Some(true));
+            assert_eq!(ob(src), Some(true));
+            return;
+        }
+        unreachable!("expected the original set to be non-guarded");
+    }
+
+    #[test]
+    fn side_condition_blocks_divergence() {
+        // The existential loop needs p on the fresh null, but p is never
+        // derived for nulls: r(X,Y), p(Y) -> r(Y,Z). The fresh Z never gets
+        // p(Z), so the rule fires only along the initial p-atoms.
+        let src = "r(X, Y), p(Y) -> r(Y, Z).";
+        assert_eq!(so(src), Some(true));
+        assert_eq!(ob(src), Some(true));
+    }
+
+    #[test]
+    fn side_condition_derived_for_nulls_diverges() {
+        // Same loop, but now p propagates to the fresh null.
+        let src = "r(X, Y), p(Y) -> r(Y, Z), p(Z).";
+        assert_eq!(so(src), Some(false));
+        assert_eq!(ob(src), Some(false));
+    }
+
+    #[test]
+    fn agreement_with_linear_procedure() {
+        use crate::linear::decide_linear;
+        let samples = [
+            "p(X, Y) -> p(Y, Z).",
+            "r(X, Y) -> r(X, Z).",
+            "p(X, Y) -> q(X, Y).",
+            "p(X) -> q(X, Z). q(X, Z) -> p(X).",
+            "p(X) -> q(X, Z). q(X, Z) -> p(Z).",
+            "s(X) -> e(X, Z). e(X, X) -> s(X).",
+            "s(X) -> e(a, Z). e(a, X) -> s(X).",
+            "a(X) -> b(X, Y). b(X, Y) -> c(Y). c(X) -> a(X).",
+            "person(X) -> hasFather(X, Y), person(Y).",
+        ];
+        for src in samples {
+            let p = Program::parse(src).unwrap();
+            for variant in [ChaseVariant::SemiOblivious, ChaseVariant::Oblivious] {
+                let lin = decide_linear(&p, variant, false).unwrap().terminates;
+                let g = decide(src, variant).terminates();
+                assert_eq!(g, Some(lin), "guarded vs linear on {src} under {variant}");
+            }
+        }
+    }
+
+    #[test]
+    fn certificate_reports_chain() {
+        let p = Program::parse("p(X, Y) -> p(Y, Z).").unwrap();
+        let report =
+            decide_guarded(&p, GuardedConfig::new(ChaseVariant::SemiOblivious)).unwrap();
+        match report.verdict {
+            GuardedVerdict::Diverges(cert) => {
+                assert!(cert.chain_length >= 1);
+                assert_eq!(cert.ancestor.pred, cert.descendant.pred);
+            }
+            other => panic!("expected divergence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_guarded_is_rejected() {
+        let p = Program::parse("p(X), q(Y) -> r(X, Y).").unwrap();
+        assert_eq!(
+            decide_guarded(&p, GuardedConfig::new(ChaseVariant::SemiOblivious)).err(),
+            Some(GuardedError::NotGuarded)
+        );
+    }
+
+    #[test]
+    fn restricted_variant_is_rejected() {
+        let p = Program::parse("p(X) -> q(X).").unwrap();
+        assert_eq!(
+            decide_guarded(&p, GuardedConfig::new(ChaseVariant::Restricted)).err(),
+            Some(GuardedError::UnsupportedVariant)
+        );
+    }
+
+    #[test]
+    fn tiny_fuel_yields_unknown_on_divergent_input() {
+        let p = Program::parse("p(X, Y) -> p(Y, Z).").unwrap();
+        let mut cfg = GuardedConfig::new(ChaseVariant::SemiOblivious);
+        cfg.max_applications = 1;
+        let report = decide_guarded(&p, cfg).unwrap();
+        assert!(matches!(report.verdict, GuardedVerdict::Unknown | GuardedVerdict::Diverges(_)));
+    }
+
+    #[test]
+    fn standard_mode_decides_too() {
+        let p = Program::parse("p(X, Y) -> p(Y, Z).").unwrap();
+        let mut cfg = GuardedConfig::new(ChaseVariant::SemiOblivious);
+        cfg.standard = true;
+        let report = decide_guarded(&p, cfg).unwrap();
+        assert_eq!(report.verdict.terminates(), Some(false));
+    }
+
+    #[test]
+    fn guarded_dl_lite_style_ontology_terminates() {
+        // Inclusion dependencies with a terminating structure.
+        let src = "
+            professor(X) -> teaches(X, Y).
+            teaches(X, Y) -> course(Y).
+            course(X) -> taughtBy(X, Z).
+            taughtBy(X, Z) -> professor2(Z).
+        ";
+        assert_eq!(so(src), Some(true));
+        assert_eq!(ob(src), Some(true));
+    }
+
+    #[test]
+    fn guarded_ontology_with_cycle_diverges() {
+        let src = "
+            professor(X) -> teaches(X, Y).
+            teaches(X, Y) -> course(Y).
+            course(X) -> taughtBy(X, Z).
+            taughtBy(X, Z) -> professor(Z).
+        ";
+        assert_eq!(so(src), Some(false));
+        assert_eq!(ob(src), Some(false));
+    }
+}

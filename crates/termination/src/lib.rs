@@ -1,0 +1,58 @@
+//! # chasekit-termination
+//!
+//! Decision procedures for chase termination over all databases, following
+//! *"Chase Termination for Guarded Existential Rules"* (Calautti, Gottlob,
+//! Pieris; PODS 2015):
+//!
+//! * [`linear`] — the **exact** procedure for linear TGDs via reachable
+//!   shape graphs (critical weak/rich acyclicity; Theorems 1–3);
+//! * [`guarded`] — the decision procedure for guarded TGDs via pumping
+//!   certificates on the critical-instance chase (Theorem 4), plus its
+//!   sound generalization to arbitrary TGDs;
+//! * [`mfa`] — model-faithful acyclicity, the strongest practical
+//!   sufficient condition, as a baseline;
+//! * [`looping`] — the looping operator (the paper's lower-bound
+//!   technique): reduces propositional atom entailment to chase
+//!   non-termination;
+//! * [`restricted`] — the future-work section: an exact procedure for the
+//!   restricted chase on single-head linear TGDs;
+//! * [`mod@decide`] — the portfolio front door.
+//!
+//! ```
+//! use chasekit_core::Program;
+//! use chasekit_engine::{Budget, ChaseVariant};
+//! use chasekit_termination::decide::decide;
+//!
+//! // Paper, Example 2: diverges under every chase variant.
+//! let p = Program::parse("p(X, Y) -> p(Y, Z).").unwrap();
+//! let d = decide(&p, ChaseVariant::SemiOblivious, &Budget::default());
+//! assert_eq!(d.terminates, Some(false));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod decide;
+pub mod guarded;
+pub mod linear;
+pub mod looping;
+pub mod mfa;
+pub mod restricted;
+pub mod shape;
+
+pub use decide::{decide, Decision, Method};
+pub use guarded::{
+    decide_guarded, pumping_decide, GuardedConfig, GuardedError, GuardedReport, GuardedVerdict,
+    PumpingCertificate,
+};
+pub use linear::{
+    decide_linear, is_critically_richly_acyclic, is_critically_weakly_acyclic, DangerousWitness,
+    LinearAnalysis, LinearDecision, LinearError,
+};
+pub use looping::{chain_instance, PropositionalProgram};
+pub use mfa::{is_mfa, mfa_status, MfaStatus};
+pub use restricted::{
+    is_single_head_linear, restricted_verdict, single_head_linear_restricted_terminates,
+    RestrictedMethod, RestrictedVerdict,
+};
+pub use shape::{Label, Shape, ShapeInterner};

@@ -1,0 +1,295 @@
+//! `chasekit` — command-line front end.
+//!
+//! ```text
+//! chasekit classify  <rules-file>
+//! chasekit conditions <rules-file>
+//! chasekit decide    <rules-file> [--variant o|so] [--fuel N]
+//! chasekit explain   <rules-file> [--variant o|so]
+//! chasekit chase     <rules-file> [--variant o|so|restricted] [--steps N] [--dot FILE]
+//! chasekit critical  <rules-file> [--standard]
+//! ```
+//!
+//! The rules file uses the textual format described in the README; facts in
+//! the file seed the `chase` subcommand (the critical instance is used when
+//! no facts are present).
+
+use std::process::ExitCode;
+
+use chasekit::core::display::{instance_to_string, rule_to_string};
+use chasekit::prelude::*;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: chasekit <classify|conditions|decide|explain|chase|critical> <rules-file> [options]
+options:
+  --variant o|so|restricted   chase variant (default: so)
+  --steps N                   chase step budget (default: 10000)
+  --fuel N                    decision fuel (default: 50000)
+  --standard                  use the standard-database critical instance
+  --dot FILE                  (chase) write the derivation DAG as Graphviz"
+    );
+    ExitCode::from(2)
+}
+
+struct Args {
+    command: String,
+    file: String,
+    variant: ChaseVariant,
+    steps: u64,
+    fuel: u64,
+    standard: bool,
+    dot: Option<String>,
+}
+
+fn parse_args() -> Option<Args> {
+    let mut argv = std::env::args().skip(1);
+    let command = argv.next()?;
+    let file = argv.next()?;
+    let mut out = Args {
+        command,
+        file,
+        variant: ChaseVariant::SemiOblivious,
+        steps: 10_000,
+        fuel: 50_000,
+        standard: false,
+        dot: None,
+    };
+    while let Some(flag) = argv.next() {
+        match flag.as_str() {
+            "--variant" => {
+                out.variant = match argv.next()?.as_str() {
+                    "o" | "oblivious" => ChaseVariant::Oblivious,
+                    "so" | "semi-oblivious" => ChaseVariant::SemiOblivious,
+                    "restricted" | "standard" => ChaseVariant::Restricted,
+                    other => {
+                        eprintln!("unknown variant `{other}`");
+                        return None;
+                    }
+                }
+            }
+            "--steps" => out.steps = argv.next()?.parse().ok()?,
+            "--fuel" => out.fuel = argv.next()?.parse().ok()?,
+            "--standard" => out.standard = true,
+            "--dot" => out.dot = Some(argv.next()?),
+            other => {
+                eprintln!("unknown flag `{other}`");
+                return None;
+            }
+        }
+    }
+    Some(out)
+}
+
+fn main() -> ExitCode {
+    let Some(args) = parse_args() else {
+        return usage();
+    };
+    let text = match std::fs::read_to_string(&args.file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", args.file);
+            return ExitCode::FAILURE;
+        }
+    };
+    let program = match Program::parse(&text) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    match args.command.as_str() {
+        "classify" => {
+            println!("rules: {}", program.rules().len());
+            println!("facts: {}", program.facts().len());
+            println!("class: {}", program.class());
+            for (i, rule) in program.rules().iter().enumerate() {
+                println!(
+                    "  [{i}] {} ({}{}{})",
+                    rule_to_string(rule, &program.vocab),
+                    if rule.is_simple_linear() {
+                        "simple-linear"
+                    } else if rule.is_linear() {
+                        "linear"
+                    } else if rule.is_guarded() {
+                        "guarded"
+                    } else {
+                        "unrestricted"
+                    },
+                    if rule.is_datalog() { ", datalog" } else { "" },
+                    if rule.is_single_head() { "" } else { ", multi-head" },
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        "conditions" => {
+            println!("weak acyclicity (WA):   {}", is_weakly_acyclic(&program));
+            println!("rich acyclicity (RA):   {}", is_richly_acyclic(&program));
+            println!("joint acyclicity (JA):  {}", is_jointly_acyclic(&program));
+            println!("aGRD:                   {}", is_grd_acyclic(&program));
+            println!(
+                "MFA:                    {}",
+                match is_mfa(&program) {
+                    Some(b) => b.to_string(),
+                    None => "unknown (fuel)".to_string(),
+                }
+            );
+            ExitCode::SUCCESS
+        }
+        "decide" => {
+            if args.variant == ChaseVariant::Restricted {
+                let v = restricted_verdict(&program);
+                println!("restricted chase on all databases: {:?} via {:?}", v.terminates, v.method);
+                return ExitCode::SUCCESS;
+            }
+            let budget = Budget { max_applications: args.fuel, max_atoms: usize::MAX };
+            let d = decide(&program, args.variant, &budget);
+            println!("class:  {}", d.class);
+            println!("method: {:?}", d.method);
+            match d.terminates {
+                Some(true) => println!("the {} chase TERMINATES on all databases", args.variant),
+                Some(false) => println!("the {} chase DIVERGES on some database", args.variant),
+                None => println!("undecided within fuel ({} applications)", args.fuel),
+            }
+            ExitCode::SUCCESS
+        }
+        "chase" => {
+            let mut program = program.clone();
+            let initial = if program.facts().is_empty() {
+                println!("(no facts in file: chasing the critical instance)");
+                CriticalInstance::build(&mut program).instance
+            } else {
+                Instance::from_atoms(program.facts().iter().cloned())
+            };
+            use chasekit::engine::{ChaseConfig, ChaseMachine};
+            let mut cfg = ChaseConfig::of(args.variant);
+            if args.dot.is_some() {
+                cfg = cfg.with_derivation();
+            }
+            let mut machine = ChaseMachine::new(&program, cfg, initial);
+            let outcome = machine.run(&Budget::applications(args.steps));
+            println!(
+                "outcome: {:?} after {} applications, {} atoms, {} nulls",
+                outcome,
+                machine.stats().applications,
+                machine.instance().len(),
+                machine.stats().nulls_minted
+            );
+            if let Some(path) = &args.dot {
+                let dot = chasekit::engine::derivation_to_dot(
+                    machine.instance(),
+                    machine.derivation(),
+                    &program.vocab,
+                );
+                if let Err(e) = std::fs::write(path, dot) {
+                    eprintln!("cannot write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("derivation DAG written to {path}");
+            }
+            print!("{}", instance_to_string(machine.instance(), &program.vocab));
+            ExitCode::SUCCESS
+        }
+        "explain" => {
+            use chasekit::core::display::atom_to_string;
+            use chasekit::core::RuleClass;
+            use chasekit::termination::{LinearAnalysis, Label as ShapeLabel};
+            let variant = if args.variant == ChaseVariant::Restricted {
+                ChaseVariant::SemiOblivious
+            } else {
+                args.variant
+            };
+            println!("class: {}", program.class());
+            match program.class() {
+                RuleClass::SimpleLinear | RuleClass::Linear => {
+                    let analysis = LinearAnalysis::explore(&program, false)
+                        .expect("class checked");
+                    let (decision, witness) = analysis
+                        .decide_with_witness(variant)
+                        .expect("variant checked");
+                    println!(
+                        "reachable shapes: {}; overlay: {} nodes, {} edges",
+                        decision.shapes, decision.position_nodes, decision.position_edges
+                    );
+                    match witness {
+                        None => println!("no dangerous cycle: the {variant} chase terminates on all databases"),
+                        Some(w) => {
+                            let render = |s: &chasekit::termination::Shape| {
+                                let labels: Vec<String> = s
+                                    .labels
+                                    .iter()
+                                    .map(|l| match l {
+                                        ShapeLabel::Const(c) => {
+                                            program.vocab.const_name(*c).to_string()
+                                        }
+                                        ShapeLabel::Null(k) => format!("_:{k}"),
+                                    })
+                                    .collect();
+                                format!(
+                                    "{}({})",
+                                    program.vocab.pred_name(s.pred),
+                                    labels.join(", ")
+                                )
+                            };
+                            println!("dangerous reachable cycle found:");
+                            println!(
+                                "  a null consumed at position {} of shape {}",
+                                w.from_pos + 1,
+                                render(&w.from_shape)
+                            );
+                            println!(
+                                "  re-creates a fresh null at position {} of shape {}",
+                                w.to_pos + 1,
+                                render(&w.to_shape)
+                            );
+                            println!("=> the {variant} chase DIVERGES on some database");
+                        }
+                    }
+                }
+                _ => {
+                    let mut cfg = GuardedConfig::new(variant);
+                    cfg.max_applications = args.fuel;
+                    match chasekit::termination::pumping_decide(&program, cfg) {
+                        Ok(report) => match report.verdict {
+                            GuardedVerdict::Terminates => println!(
+                                "critical-instance chase saturated after {} applications: terminates on all databases",
+                                report.stats.applications
+                            ),
+                            GuardedVerdict::Diverges(cert) => {
+                                println!("pumping certificate found (chain length {}):", cert.chain_length);
+                                println!(
+                                    "  ancestor:   {}",
+                                    atom_to_string(&cert.ancestor, &program.vocab, None)
+                                );
+                                println!(
+                                    "  descendant: {}",
+                                    atom_to_string(&cert.descendant, &program.vocab, None)
+                                );
+                                println!("=> the {variant} chase DIVERGES on some database");
+                            }
+                            GuardedVerdict::Unknown => println!(
+                                "undecided within fuel ({} applications)",
+                                args.fuel
+                            ),
+                        },
+                        Err(e) => eprintln!("{e}"),
+                    }
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        "critical" => {
+            let mut p = program.clone();
+            let crit = if args.standard {
+                CriticalInstance::standard(&mut p)
+            } else {
+                CriticalInstance::build(&mut p)
+            };
+            println!("constants: {}", crit.constants.len());
+            print!("{}", instance_to_string(&crit.instance, &p.vocab));
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

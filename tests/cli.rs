@@ -1,0 +1,162 @@
+//! Integration tests for the `chasekit` command-line binary.
+
+use std::io::Write as _;
+use std::process::Command;
+
+fn write_rules(name: &str, content: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("chasekit-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path).unwrap();
+    f.write_all(content.as_bytes()).unwrap();
+    path
+}
+
+fn run(args: &[&str]) -> (String, String, Option<i32>) {
+    let out = Command::new(env!("CARGO_BIN_EXE_chasekit"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.code(),
+    )
+}
+
+#[test]
+fn classify_reports_class_and_per_rule_details() {
+    let path = write_rules(
+        "classify.rules",
+        "person(X) -> hasFather(X, Y), person(Y). person(bob).",
+    );
+    let (stdout, _, code) = run(&["classify", path.to_str().unwrap()]);
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("class: simple-linear"));
+    assert!(stdout.contains("multi-head"));
+    assert!(stdout.contains("facts: 1"));
+}
+
+#[test]
+fn decide_answers_for_both_variants() {
+    let path = write_rules("decide.rules", "r(X, Y) -> r(X, Z).");
+    let (stdout, _, code) = run(&["decide", path.to_str().unwrap(), "--variant", "so"]);
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("TERMINATES"), "{stdout}");
+    let (stdout, _, _) = run(&["decide", path.to_str().unwrap(), "--variant", "o"]);
+    assert!(stdout.contains("DIVERGES"), "{stdout}");
+}
+
+#[test]
+fn decide_restricted_uses_the_future_work_procedure() {
+    let path = write_rules("restricted.rules", "p(X, Y) -> p(Y, Z).");
+    let (stdout, _, code) =
+        run(&["decide", path.to_str().unwrap(), "--variant", "restricted"]);
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("Some(false)"), "{stdout}");
+}
+
+#[test]
+fn chase_prints_the_result_instance() {
+    let path = write_rules("chase.rules", "e(a, b). e(X, Y) -> t(Y, X).");
+    let (stdout, _, code) = run(&["chase", path.to_str().unwrap()]);
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("Saturated"));
+    assert!(stdout.contains("t(b, a)"));
+}
+
+#[test]
+fn chase_without_facts_uses_the_critical_instance() {
+    let path = write_rules("crit-chase.rules", "p(X) -> q(X).");
+    let (stdout, _, code) = run(&["chase", path.to_str().unwrap()]);
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("critical instance"));
+    assert!(stdout.contains("q(\u{22c6}critical)"));
+}
+
+#[test]
+fn conditions_prints_the_whole_ladder() {
+    let path = write_rules("conds.rules", "p(X, Y) -> q(X, Y).");
+    let (stdout, _, code) = run(&["conditions", path.to_str().unwrap()]);
+    assert_eq!(code, Some(0));
+    for line in ["weak acyclicity", "rich acyclicity", "joint acyclicity", "aGRD", "MFA"] {
+        assert!(stdout.contains(line), "missing {line} in {stdout}");
+    }
+    assert!(!stdout.contains("false"), "copy rule satisfies every condition: {stdout}");
+}
+
+#[test]
+fn critical_lists_the_combinations() {
+    let path = write_rules("crit.rules", "e(X, a) -> e(a, X).");
+    let (stdout, _, code) = run(&["critical", path.to_str().unwrap()]);
+    assert_eq!(code, Some(0));
+    // Constants {a, ⋆}: 4 combinations for the binary predicate.
+    assert_eq!(stdout.lines().filter(|l| l.starts_with("e(")).count(), 4);
+    let (std_out, _, _) = run(&["critical", path.to_str().unwrap(), "--standard"]);
+    // Constants {a, 0, 1, ⋆}: 16 combinations plus 0(0) and 1(1).
+    assert_eq!(std_out.lines().filter(|l| l.starts_with("e(")).count(), 16);
+}
+
+#[test]
+fn parse_errors_are_reported_with_location() {
+    let path = write_rules("broken.rules", "p(X -> q(X).");
+    let (_, stderr, code) = run(&["decide", path.to_str().unwrap()]);
+    assert_eq!(code, Some(1));
+    assert!(stderr.contains("parse error"), "{stderr}");
+}
+
+#[test]
+fn missing_file_and_bad_usage_fail_cleanly() {
+    let (_, stderr, code) = run(&["decide", "/nonexistent/never.rules"]);
+    assert_eq!(code, Some(1));
+    assert!(stderr.contains("cannot read"));
+    let (_, stderr, code) = run(&["frobnicate"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("usage"));
+}
+
+#[test]
+fn explain_shows_a_dangerous_cycle_for_linear_sets() {
+    let path = write_rules("explain-linear.rules", "p(X, Y) -> p(Y, Z).");
+    let (stdout, _, code) = run(&["explain", path.to_str().unwrap()]);
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("dangerous reachable cycle"), "{stdout}");
+    assert!(stdout.contains("DIVERGES"), "{stdout}");
+}
+
+#[test]
+fn explain_shows_a_pumping_certificate_for_guarded_sets() {
+    let path = write_rules(
+        "explain-guarded.rules",
+        "r(X, Y), p(Y) -> r(Y, Z), p(Z).",
+    );
+    let (stdout, _, code) = run(&["explain", path.to_str().unwrap()]);
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("pumping certificate"), "{stdout}");
+    assert!(stdout.contains("ancestor"), "{stdout}");
+}
+
+#[test]
+fn explain_reports_termination_cleanly() {
+    let path = write_rules("explain-term.rules", "p(X, Y) -> q(X, Y).");
+    let (stdout, _, code) = run(&["explain", path.to_str().unwrap()]);
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("terminates on all databases"), "{stdout}");
+}
+
+#[test]
+fn chase_writes_a_dot_file() {
+    let path = write_rules("dot.rules", "p(a). p(X) -> q(X, Y).");
+    let dot_path = std::env::temp_dir().join("chasekit-cli-tests").join("out.dot");
+    let (stdout, _, code) = run(&[
+        "chase",
+        path.to_str().unwrap(),
+        "--dot",
+        dot_path.to_str().unwrap(),
+    ]);
+    assert_eq!(code, Some(0));
+    assert!(stdout.contains("derivation DAG written"));
+    let dot = std::fs::read_to_string(&dot_path).unwrap();
+    assert!(dot.starts_with("digraph chase {"));
+    assert!(dot.contains("q("));
+}

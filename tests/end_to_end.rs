@@ -1,0 +1,141 @@
+//! End-to-end pipelines across crates: parse → classify → decide → chase,
+//! with every checker cross-validated against every other on the corpus.
+
+use chasekit::datagen::{corpus, random_guarded, random_linear, RandomConfig};
+use chasekit::prelude::*;
+use chasekit::termination::{pumping_decide, GuardedVerdict};
+
+#[test]
+fn corpus_decisions_match_ground_truth_for_both_variants() {
+    for lp in corpus() {
+        for (variant, expected) in [
+            (ChaseVariant::SemiOblivious, lp.so_terminates),
+            (ChaseVariant::Oblivious, lp.o_terminates),
+        ] {
+            let d = decide(&lp.program, variant, &Budget::default());
+            assert_eq!(d.terminates, expected, "{} under {variant}", lp.name);
+        }
+    }
+}
+
+#[test]
+fn corpus_roundtrips_through_the_parser() {
+    use chasekit::core::display::program_to_string;
+    for lp in corpus() {
+        let text = program_to_string(&lp.program);
+        let reparsed = Program::parse(&text).unwrap_or_else(|e| {
+            panic!("{} failed to reparse: {e}\n{text}", lp.name);
+        });
+        assert_eq!(reparsed.rules().len(), lp.program.rules().len(), "{}", lp.name);
+        // Decisions are invariant under the round trip.
+        let before = decide(&lp.program, ChaseVariant::SemiOblivious, &Budget::default());
+        let after = decide(&reparsed, ChaseVariant::SemiOblivious, &Budget::default());
+        assert_eq!(before.terminates, after.terminates, "{}", lp.name);
+    }
+}
+
+/// The exact linear procedure and the guarded pumping procedure are
+/// independent implementations that must agree on linear inputs.
+#[test]
+fn linear_and_guarded_procedures_agree_on_random_linear_sets() {
+    let cfg = RandomConfig { constants: 1, complexity: 0.4, ..RandomConfig::default() };
+    let mut decided = 0;
+    for seed in 0..120 {
+        let p = random_linear(&cfg, 555_000 + seed);
+        for variant in [ChaseVariant::SemiOblivious, ChaseVariant::Oblivious] {
+            let exact = decide_linear(&p, variant, false).unwrap().terminates;
+            let mut gcfg = GuardedConfig::new(variant);
+            // Keep the cross-validation cheap: undecided seeds are skipped.
+            gcfg.max_applications = 1_500;
+            gcfg.max_atoms = 20_000;
+            let report = decide_guarded(&p, gcfg).unwrap();
+            if let Some(pumping) = report.verdict.terminates() {
+                assert_eq!(pumping, exact, "seed {seed} under {variant}");
+                decided += 1;
+            }
+        }
+    }
+    assert!(decided > 200, "pumping procedure decided too few: {decided}");
+}
+
+/// The general pumping semi-decision is sound on arbitrary rule sets:
+/// whenever it decides, a long chase run agrees.
+#[test]
+fn general_pumping_agrees_with_long_chase_runs() {
+    let cfg = RandomConfig::default();
+    for seed in 0..40 {
+        let p = chasekit::datagen::random_general(&cfg, 31_337 + seed);
+        let mut gcfg = GuardedConfig::new(ChaseVariant::SemiOblivious);
+        gcfg.max_applications = 600;
+        gcfg.max_atoms = 8_000;
+        let Ok(report) = pumping_decide(&p, gcfg) else { continue };
+        let claim = match report.verdict {
+            GuardedVerdict::Terminates => true,
+            GuardedVerdict::Diverges(_) => false,
+            GuardedVerdict::Unknown => continue,
+        };
+        // Long chase on the critical instance.
+        let mut p2 = p.clone();
+        let crit = CriticalInstance::build(&mut p2);
+        let run = chase(
+            &p2,
+            ChaseVariant::SemiOblivious,
+            crit.instance,
+            &Budget { max_applications: 1_800, max_atoms: 20_000 },
+        );
+        match claim {
+            true => assert_eq!(
+                run.outcome,
+                ChaseOutcome::Saturated,
+                "seed {seed}: claimed terminating but chase kept going"
+            ),
+            false => assert_eq!(
+                run.outcome,
+                ChaseOutcome::BudgetExhausted,
+                "seed {seed}: claimed diverging but chase saturated"
+            ),
+        }
+    }
+}
+
+/// Guarded population: the decider's saturation stats never exceed its
+/// fuel, and unknown verdicts only occur at the fuel boundary.
+#[test]
+fn guarded_decider_respects_fuel_and_reports_unknown_honestly() {
+    let cfg = RandomConfig::default();
+    for seed in 0..60 {
+        let p = random_guarded(&cfg, 99_000 + seed);
+        let mut gcfg = GuardedConfig::new(ChaseVariant::SemiOblivious);
+        gcfg.max_applications = 300;
+        gcfg.max_atoms = 5_000;
+        let report = decide_guarded(&p, gcfg).unwrap();
+        if matches!(report.verdict, GuardedVerdict::Unknown) {
+            assert!(
+                report.stats.applications >= 300 || report.stats.atoms_added >= 4_000,
+                "seed {seed}: unknown without exhausting fuel"
+            );
+        }
+    }
+}
+
+/// The portfolio never answers `Some` wrongly on the corpus regardless of
+/// dispatch path; also exercise the restricted verdicts.
+#[test]
+fn restricted_verdicts_on_corpus_are_sound() {
+    for lp in corpus() {
+        let v = restricted_verdict(&lp.program);
+        if v.terminates == Some(true) {
+            // A terminating restricted chase claim must hold on the
+            // program's own facts (when present) and the critical instance.
+            let mut p = lp.program.clone();
+            let crit = CriticalInstance::build(&mut p);
+            let run = chase(
+                &p,
+                ChaseVariant::Restricted,
+                crit.instance,
+                &Budget { max_applications: 5_000, max_atoms: 50_000 },
+            );
+            assert_eq!(run.outcome, ChaseOutcome::Saturated, "{}", lp.name);
+        }
+    }
+}
