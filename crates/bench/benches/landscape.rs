@@ -17,7 +17,7 @@ fn bench_landscape(c: &mut Criterion) {
     group.sample_size(15);
     let cfg = RandomConfig { constants: 1, complexity: 0.4, ..RandomConfig::default() };
     let programs: Vec<_> = (0..20).map(|s| random_linear(&cfg, 31_000 + s)).collect();
-    let budget = Budget { max_applications: 3_000, max_atoms: 30_000 };
+    let budget = Budget { max_applications: 3_000, max_atoms: 30_000, ..Budget::unlimited() };
 
     group.bench_function("RA", |b| {
         b.iter(|| {

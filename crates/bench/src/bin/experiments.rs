@@ -155,16 +155,21 @@ fn main() {
                     p.samples = 150;
                     p.arities = vec![1, 2, 3];
                 }
-                let (ts, o) = e4_guarded::run(&p);
-                emit(
-                    &ts,
-                    &opts,
-                    &mut failures,
-                    &[(
-                        o.contradictions == 0,
-                        "Theorem 4: guarded decider matches the chase".into(),
-                    )],
-                );
+                match e4_guarded::run(&p) {
+                    Ok((ts, o)) => emit(
+                        &ts,
+                        &opts,
+                        &mut failures,
+                        &[(
+                            o.contradictions == 0,
+                            "Theorem 4: guarded decider matches the chase".into(),
+                        )],
+                    ),
+                    Err(e) => {
+                        eprintln!("e4: guarded decider rejected a generated set: {e}");
+                        failures.push(format!("e4 aborted: {e}"));
+                    }
+                }
             }
             "e5" => {
                 let mut p = e5_looping::Params::default();

@@ -5,7 +5,7 @@
 //! father-chain / path). The table shows the budgeted runs.
 
 use chasekit_core::{Instance, Program};
-use chasekit_engine::{chase, Budget, ChaseOutcome, ChaseVariant};
+use chasekit_engine::{chase, Budget, ChaseVariant};
 
 use crate::table::Table;
 
@@ -31,9 +31,10 @@ pub fn run(steps: u64) -> Table {
         ] {
             let initial = Instance::from_atoms(program.facts().iter().cloned());
             let run = chase(&program, variant, initial, &Budget::applications(steps));
-            let outcome = match run.outcome {
-                ChaseOutcome::Saturated => "saturated",
-                ChaseOutcome::BudgetExhausted => "budget-exhausted (diverging)",
+            let outcome = if run.outcome.is_saturated() {
+                "saturated"
+            } else {
+                "budget-exhausted (diverging)"
             };
             table.row(&[
                 name.to_string(),

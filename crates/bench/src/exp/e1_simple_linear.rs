@@ -37,7 +37,7 @@ impl Default for Params {
         Params {
             samples: 2_000,
             cfg: RandomConfig::default(),
-            truth_budget: Budget { max_applications: 3_000, max_atoms: 30_000 },
+            truth_budget: Budget { max_applications: 3_000, max_atoms: 30_000, ..Budget::unlimited() },
         }
     }
 }

@@ -39,7 +39,7 @@ impl Default for Params {
             samples: 2_000,
             cfg: RandomConfig { constants: 2, complexity: 0.45, ..RandomConfig::default() },
             gap_sizes: [1, 2, 4],
-            truth_budget: Budget { max_applications: 3_000, max_atoms: 30_000 },
+            truth_budget: Budget { max_applications: 3_000, max_atoms: 30_000, ..Budget::unlimited() },
         }
     }
 }
@@ -81,10 +81,10 @@ pub fn run(params: &Params) -> (Vec<Table>, Outcome) {
         }
         gap_table.row(&[
             lp.name.clone(),
-            format!("{}", if wa { "accepts" } else { "rejects" }),
-            format!("{}", if ra { "accepts" } else { "rejects" }),
-            format!("{}", if cwa { "terminates" } else { "diverges" }),
-            format!("{}", if cra { "terminates" } else { "diverges" }),
+            (if wa { "accepts" } else { "rejects" }).to_string(),
+            (if ra { "accepts" } else { "rejects" }).to_string(),
+            (if cwa { "terminates" } else { "diverges" }).to_string(),
+            (if cra { "terminates" } else { "diverges" }).to_string(),
             format!("{truth:?}"),
         ]);
     }

@@ -8,7 +8,7 @@
 
 use chasekit_datagen::{random_guarded, RandomConfig};
 use chasekit_engine::{Budget, ChaseVariant};
-use chasekit_termination::{decide_guarded, GuardedConfig, GuardedVerdict};
+use chasekit_termination::{decide_guarded, GuardedConfig, GuardedError, GuardedVerdict};
 
 use crate::exp::{median_us, timed};
 use crate::table::Table;
@@ -34,8 +34,8 @@ impl Default for Params {
         Params {
             samples: 1_000,
             cfg: RandomConfig { predicates: 4, max_arity: 3, rules: 4, ..Default::default() },
-            fuel: Budget { max_applications: 4_000, max_atoms: 40_000 },
-            truth_budget: Budget { max_applications: 8_000, max_atoms: 80_000 },
+            fuel: Budget { max_applications: 4_000, max_atoms: 40_000, ..Budget::unlimited() },
+            truth_budget: Budget { max_applications: 8_000, max_atoms: 80_000, ..Budget::unlimited() },
             arities: vec![1, 2, 3, 4],
         }
     }
@@ -50,8 +50,9 @@ pub struct Outcome {
     pub unknown: u64,
 }
 
-/// Runs E4.
-pub fn run(params: &Params) -> (Vec<Table>, Outcome) {
+/// Runs E4. Fails — instead of panicking — if the generator ever emits a
+/// rule set the guarded decider rejects (a generator bug, not a crash).
+pub fn run(params: &Params) -> Result<(Vec<Table>, Outcome), GuardedError> {
     let mut outcome = Outcome::default();
 
     let mut pop = Table::new(
@@ -67,11 +68,9 @@ pub fn run(params: &Params) -> (Vec<Table>, Outcome) {
                 let mut cfg = GuardedConfig::new(variant);
                 cfg.max_applications = params.fuel.max_applications;
                 cfg.max_atoms = params.fuel.max_atoms;
-                let (report, us) = timed(|| {
-                    decide_guarded(&program, cfg).expect("generated sets are guarded")
-                });
+                let (report, us) = timed(|| decide_guarded(&program, cfg));
                 let truth = critical_chase_truth(&program, variant, &params.truth_budget);
-                (report.verdict, truth, us)
+                report.map(|r| (r.verdict, truth, us))
             },
         );
 
@@ -80,7 +79,8 @@ pub fn run(params: &Params) -> (Vec<Table>, Outcome) {
         let mut unknown = 0u64;
         let mut contradictions = 0u64;
         let mut times = Vec::new();
-        for (verdict, truth, us) in records {
+        for record in records {
+            let (verdict, truth, us) = record?;
             times.push(us);
             let claim = verdict.terminates();
             match verdict {
@@ -120,7 +120,8 @@ pub fn run(params: &Params) -> (Vec<Table>, Outcome) {
             let mut gcfg = GuardedConfig::new(ChaseVariant::SemiOblivious);
             gcfg.max_applications = params.fuel.max_applications;
             gcfg.max_atoms = params.fuel.max_atoms;
-            let (report, us) = timed(|| decide_guarded(&program, gcfg).unwrap());
+            let (report, us) = timed(|| decide_guarded(&program, gcfg));
+            let report = report?;
             times.push(us);
             if matches!(report.verdict, GuardedVerdict::Unknown) {
                 unknown += 1;
@@ -133,7 +134,7 @@ pub fn run(params: &Params) -> (Vec<Table>, Outcome) {
         ]);
     }
 
-    (vec![pop, scale], outcome)
+    Ok((vec![pop, scale], outcome))
 }
 
 #[cfg(test)]
@@ -143,7 +144,7 @@ mod tests {
     #[test]
     fn guarded_decider_never_contradicts_the_chase() {
         let params = Params { samples: 120, arities: vec![2, 3], ..Default::default() };
-        let (_, outcome) = run(&params);
+        let (_, outcome) = run(&params).expect("generator emits guarded sets");
         assert_eq!(outcome.contradictions, 0);
         // Unknowns should be rare on this small population.
         assert!(

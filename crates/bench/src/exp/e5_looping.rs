@@ -28,7 +28,7 @@ impl Default for Params {
     fn default() -> Self {
         Params {
             depths: vec![1, 2, 4, 8, 16, 32, 64],
-            fuel: Budget { max_applications: 50_000, max_atoms: 500_000 },
+            fuel: Budget { max_applications: 50_000, max_atoms: 500_000, ..Budget::unlimited() },
         }
     }
 }

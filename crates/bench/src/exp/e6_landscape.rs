@@ -33,7 +33,7 @@ impl Default for Params {
         Params {
             samples: 1_500,
             cfg: RandomConfig { constants: 1, complexity: 0.4, ..RandomConfig::default() },
-            mfa_budget: Budget { max_applications: 3_000, max_atoms: 30_000 },
+            mfa_budget: Budget { max_applications: 3_000, max_atoms: 30_000, ..Budget::unlimited() },
         }
     }
 }

@@ -18,7 +18,7 @@ use chasekit_core::Instance;
 use chasekit_datagen::{
     random_database, random_linear, random_simple_linear, DbConfig, RandomConfig,
 };
-use chasekit_engine::{chase, Budget, ChaseOutcome, ChaseVariant};
+use chasekit_engine::{chase, Budget, StopReason, ChaseVariant};
 use chasekit_termination::restricted::{find_divergent_start, materialize_start};
 use chasekit_termination::is_single_head_linear;
 
@@ -42,7 +42,7 @@ impl Default for Params {
         Params {
             samples: 2_000,
             cfg: RandomConfig { max_head_atoms: 1, ..RandomConfig::default() },
-            probe_budget: Budget { max_applications: 2_000, max_atoms: 20_000 },
+            probe_budget: Budget { max_applications: 2_000, max_atoms: 20_000, ..Budget::unlimited() },
             probes: 3,
         }
     }
@@ -93,7 +93,7 @@ pub fn run(params: &Params) -> (Table, Outcome) {
                 let mut program = program.clone();
                 let db = materialize_start(&mut program, &witness);
                 let run = chase(&program, ChaseVariant::Restricted, db, &params.probe_budget);
-                if run.outcome != ChaseOutcome::BudgetExhausted {
+                if run.outcome != StopReason::Applications {
                     outcome.unconfirmed_witnesses += 1;
                 }
             }
@@ -116,7 +116,7 @@ pub fn run(params: &Params) -> (Table, Outcome) {
                 for db in probes {
                     let run =
                         chase(&program, ChaseVariant::Restricted, db, &params.probe_budget);
-                    if run.outcome != ChaseOutcome::Saturated {
+                    if run.outcome != StopReason::Saturated {
                         outcome.probe_contradictions += 1;
                     }
                 }

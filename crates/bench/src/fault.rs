@@ -1,0 +1,173 @@
+//! Deterministic, seed-keyed fault injection for hardening tests.
+//!
+//! The experiment pool ([`crate::parallel`]) promises that a panicking
+//! worker costs exactly its own seed and nothing else. Proving that
+//! requires faults that are *reproducible*: the same plan must select the
+//! same seeds on every run and under every thread count, or the test is
+//! flaky by construction. A [`FaultPlan`] selects victim seeds with a
+//! splitmix64 hash keyed by a salt, so selection is a pure function of
+//! `(salt, seed)` — no RNG state, no ordering sensitivity.
+//!
+//! Two injection styles cover the two failure modes the pool handles:
+//!
+//! * [`FaultPlan::should_fail`] + a plain `panic!` — a *deterministic*
+//!   fault that fails every attempt, exercising the [`SeedFailure`] path;
+//! * [`TransientFaults`] — a fault that fires only on the first attempt
+//!   per seed, exercising the retry path (the seed still succeeds).
+//!
+//! [`SeedFailure`]: crate::parallel::SeedFailure
+
+use std::sync::Mutex;
+
+/// Selects a deterministic pseudo-random subset of seeds to fail.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultPlan {
+    salt: u64,
+    /// Failure probability as a numerator over 2^16.
+    threshold: u16,
+}
+
+/// splitmix64 finalizer: a cheap, well-mixed 64-bit hash.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+impl FaultPlan {
+    /// A plan that fails each seed independently with probability `rate`
+    /// (clamped to `[0, 1]`), keyed by `salt`. Different salts give
+    /// statistically independent victim sets.
+    pub fn new(salt: u64, rate: f64) -> Self {
+        let threshold = (rate.clamp(0.0, 1.0) * f64::from(u16::MAX)).round() as u16;
+        FaultPlan { salt, threshold }
+    }
+
+    /// Whether this plan injects a fault for `seed`. Pure: depends only on
+    /// the plan's salt/rate and the seed.
+    pub fn should_fail(&self, seed: u64) -> bool {
+        let h = splitmix64(seed ^ splitmix64(self.salt));
+        (h & 0xffff) as u16 <= self.threshold && self.threshold > 0
+    }
+
+    /// All victim seeds below `count`, in ascending order.
+    pub fn victims(&self, count: u64) -> Vec<u64> {
+        (0..count).filter(|&s| self.should_fail(s)).collect()
+    }
+
+    /// Panics (with the seed in the message) iff the plan selects `seed`.
+    /// Call at the top of a worker closure to inject deterministic faults.
+    pub fn trip(&self, seed: u64) {
+        if self.should_fail(seed) {
+            panic!("injected fault for seed {seed}");
+        }
+    }
+}
+
+/// Injects faults that fire only on the *first* attempt per seed, so the
+/// pool's single retry absorbs them. Interior mutability makes it usable
+/// from the `Fn(u64)` worker closure shared across threads.
+#[derive(Debug, Default)]
+pub struct TransientFaults {
+    fired: Mutex<std::collections::HashSet<u64>>,
+}
+
+impl TransientFaults {
+    /// An empty record: no seed has faulted yet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Panics the first time it is called for a `seed` selected by `plan`;
+    /// subsequent calls for the same seed pass through.
+    pub fn trip(&self, plan: &FaultPlan, seed: u64) {
+        if plan.should_fail(seed) && self.fired.lock().unwrap().insert(seed) {
+            panic!("injected transient fault for seed {seed}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parallel::par_try_map_seeds;
+
+    #[test]
+    fn plans_are_deterministic_and_salt_sensitive() {
+        let a = FaultPlan::new(1, 0.1);
+        let b = FaultPlan::new(2, 0.1);
+        assert_eq!(a.victims(500), FaultPlan::new(1, 0.1).victims(500));
+        assert_ne!(a.victims(500), b.victims(500));
+        assert!(FaultPlan::new(7, 0.0).victims(1000).is_empty());
+        assert_eq!(FaultPlan::new(7, 1.0).victims(100).len(), 100);
+    }
+
+    #[test]
+    fn rate_is_roughly_honoured() {
+        let plan = FaultPlan::new(42, 0.05);
+        let victims = plan.victims(10_000).len();
+        // 5% of 10k = 500; allow a generous band for hash variance.
+        assert!((300..=700).contains(&victims), "{victims} victims");
+    }
+
+    /// The ISSUE's acceptance scenario: 200 seeds, ~5% injected panics.
+    /// The population completes, exactly the planned seeds fail, and every
+    /// survivor is bit-identical to the fault-free run — under several
+    /// thread counts.
+    #[test]
+    fn injected_faults_cost_exactly_their_own_seeds() {
+        use chasekit_datagen::{random_simple_linear, RandomConfig};
+        use chasekit_engine::ChaseVariant;
+        use chasekit_termination::decide_linear;
+
+        const SEEDS: u64 = 200;
+        let plan = FaultPlan::new(0xC0FFEE, 0.05);
+        let victims = plan.victims(SEEDS);
+        assert!(!victims.is_empty(), "plan must select at least one victim");
+
+        let cfg = RandomConfig::default();
+        let work = |seed: u64| {
+            let p = random_simple_linear(&cfg, seed);
+            decide_linear(&p, ChaseVariant::SemiOblivious, false).unwrap().terminates
+        };
+
+        let clean: Vec<bool> = (0..SEEDS).map(work).collect();
+
+        for threads in [1, 4, 8] {
+            let faulty = par_try_map_seeds(SEEDS, threads, |seed| {
+                plan.trip(seed);
+                work(seed)
+            });
+            assert_eq!(faulty.len() as u64, SEEDS);
+            let failed: Vec<u64> = faulty
+                .iter()
+                .enumerate()
+                .filter_map(|(s, r)| r.is_err().then_some(s as u64))
+                .collect();
+            assert_eq!(failed, victims, "threads = {threads}");
+            for (seed, slot) in faulty.iter().enumerate() {
+                match slot {
+                    Ok(v) => assert_eq!(*v, clean[seed], "seed {seed} diverged"),
+                    Err(f) => {
+                        assert_eq!(f.seed, seed as u64);
+                        assert!(f.message.contains(&format!("seed {seed}")));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn transient_faults_are_absorbed_by_the_retry() {
+        let plan = FaultPlan::new(99, 0.2);
+        let transients = TransientFaults::new();
+        let out = par_try_map_seeds(100, 4, |seed| {
+            transients.trip(&plan, seed);
+            seed * 2
+        });
+        assert!(out.iter().all(|r| r.is_ok()), "retry must absorb single-shot faults");
+        let values: Vec<u64> = out.into_iter().map(|r| r.unwrap()).collect();
+        assert_eq!(values, (0..100).map(|s| s * 2).collect::<Vec<_>>());
+    }
+}

@@ -9,6 +9,7 @@
 #![forbid(unsafe_code)]
 
 pub mod exp;
+pub mod fault;
 pub mod parallel;
 pub mod table;
 pub mod truth;

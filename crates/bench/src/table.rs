@@ -57,7 +57,7 @@ impl Table {
                 }
                 let pad = w - cell.chars().count();
                 s.push_str(cell);
-                s.extend(std::iter::repeat(' ').take(pad));
+                s.extend(std::iter::repeat_n(' ', pad));
             }
             s.trim_end().to_string()
         };

@@ -2,7 +2,7 @@
 //! critical instance, independently of any syntactic analysis.
 
 use chasekit_core::{CriticalInstance, Program};
-use chasekit_engine::{chase, Budget, ChaseOutcome, ChaseVariant};
+use chasekit_engine::{chase, Budget, ChaseVariant};
 
 /// What a budgeted critical-instance chase run observed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -24,9 +24,10 @@ pub fn critical_chase_truth(
 ) -> ChaseTruth {
     let mut program = program.clone();
     let crit = CriticalInstance::build(&mut program);
-    match chase(&program, variant, crit.instance, budget).outcome {
-        ChaseOutcome::Saturated => ChaseTruth::Saturates,
-        ChaseOutcome::BudgetExhausted => ChaseTruth::Exceeded,
+    if chase(&program, variant, crit.instance, budget).outcome.is_saturated() {
+        ChaseTruth::Saturates
+    } else {
+        ChaseTruth::Exceeded
     }
 }
 

@@ -133,7 +133,7 @@ fn candidates<'i>(pattern: &Atom, subst: &Substitution, instance: &'i Instance) 
             g => g,
         };
         let posting = instance.with_pred_pos_term(pattern.pred, pos, ground);
-        if best.map_or(true, |b| posting.len() < b.len()) {
+        if best.is_none_or(|b| posting.len() < b.len()) {
             best = Some(posting);
         }
     }
@@ -212,17 +212,17 @@ pub fn for_each_hom(
                 continue;
             }
             let mark = trail.len();
-            if unify_atom(&atoms[atom_idx], fact, subst, trail) {
-                if recurse(atoms, remaining, subst, trail, instance, f).is_break() {
-                    for v in trail.drain(mark..) {
-                        subst.unbind(v);
-                    }
-                    // Restore `remaining` before unwinding.
-                    remaining.push(atom_idx);
-                    let last = remaining.len() - 1;
-                    remaining.swap(slot, last);
-                    return ControlFlow::Break(());
+            if unify_atom(&atoms[atom_idx], fact, subst, trail)
+                && recurse(atoms, remaining, subst, trail, instance, f).is_break()
+            {
+                for v in trail.drain(mark..) {
+                    subst.unbind(v);
                 }
+                // Restore `remaining` before unwinding.
+                remaining.push(atom_idx);
+                let last = remaining.len() - 1;
+                remaining.swap(slot, last);
+                return ControlFlow::Break(());
             }
             for v in trail.drain(mark..) {
                 subst.unbind(v);

@@ -171,7 +171,7 @@ impl RuleBuilder {
         loop {
             self.fresh += 1;
             let name = format!("_G{}", self.fresh);
-            if !self.var_names.iter().any(|n| *n == name) {
+            if !self.var_names.contains(&name) {
                 return self.var(&name);
             }
         }

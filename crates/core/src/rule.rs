@@ -447,7 +447,7 @@ mod tests {
         )
         .unwrap();
 
-        assert_eq!(RuleClass::of(&[sl.clone()]), RuleClass::SimpleLinear);
+        assert_eq!(RuleClass::of(std::slice::from_ref(&sl)), RuleClass::SimpleLinear);
         assert_eq!(RuleClass::of(&[sl.clone(), l.clone()]), RuleClass::Linear);
         assert_eq!(RuleClass::of(&[sl.clone(), g.clone()]), RuleClass::Guarded);
         assert_eq!(RuleClass::of(&[sl, ng]), RuleClass::General);

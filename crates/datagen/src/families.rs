@@ -234,10 +234,10 @@ pub fn binary_counter(k: usize) -> LabeledProgram {
             (0..k - 1 - i).map(|j| rb.var(&format!("X{j}"))).collect();
         let mut body = highs.clone();
         body.push(chasekit_core::Term::Const(zero));
-        body.extend(std::iter::repeat(chasekit_core::Term::Const(one)).take(i));
+        body.extend(std::iter::repeat_n(chasekit_core::Term::Const(one), i));
         let mut head = highs;
         head.push(chasekit_core::Term::Const(one));
-        head.extend(std::iter::repeat(chasekit_core::Term::Const(zero)).take(i));
+        head.extend(std::iter::repeat_n(chasekit_core::Term::Const(zero), i));
         rb.body_atom(s, body);
         rb.head_atom(s, head);
         program.add_rule(rb.build().unwrap()).unwrap();
@@ -308,12 +308,12 @@ mod tests {
     #[test]
     fn binary_counter_counts_to_two_to_the_k() {
         use chasekit_core::Instance;
-        use chasekit_engine::{chase, Budget, ChaseOutcome, ChaseVariant};
+        use chasekit_engine::{chase, Budget, StopReason, ChaseVariant};
         for k in 1..=6usize {
             let lp = binary_counter(k);
             let db = Instance::from_atoms(lp.program.facts().iter().cloned());
             let run = chase(&lp.program, ChaseVariant::SemiOblivious, db, &Budget::default());
-            assert_eq!(run.outcome, ChaseOutcome::Saturated, "k={k}");
+            assert_eq!(run.outcome, StopReason::Saturated, "k={k}");
             // One application per increment: 2^k - 1, visiting every state.
             assert_eq!(run.stats.applications, (1 << k) - 1, "k={k}");
             assert_eq!(run.instance.len(), 1 << k, "k={k}");

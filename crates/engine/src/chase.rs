@@ -7,12 +7,15 @@
 //! matching predicate are re-matched, pinned to the new atom.
 //!
 //! Budgets make non-termination observable: a run either **saturates**
-//! (terminating chase — the result is a universal model) or **exhausts its
-//! budget** (the caller decides what that means; the termination procedures
-//! pair budgets with divergence certificates).
+//! (terminating chase — the result is a universal model) or stops at a
+//! guardrail (the caller decides what that means; the termination
+//! procedures pair budgets with divergence certificates). Every stop is
+//! attributed to a [`StopReason`]; budgets, deadlines, memory ceilings,
+//! and cancellation live in [`crate::guard`].
 
 use std::collections::VecDeque;
 use std::ops::ControlFlow;
+use std::time::Instant;
 
 use chasekit_core::{
     exists_extension, for_each_hom, AtomId, FxHashMap, FxHashSet, Instance, NullId,
@@ -20,6 +23,10 @@ use chasekit_core::{
 };
 
 use crate::derivation::{Application, DerivationDag};
+use crate::guard::{
+    approx_atom_bytes, approx_identity_bytes, approx_trigger_bytes, Budget, CancelToken,
+    StopReason,
+};
 use crate::variant::ChaseVariant;
 
 /// Static configuration of a chase machine.
@@ -94,37 +101,6 @@ impl ChaseConfig {
     }
 }
 
-/// Budget limiting a chase run.
-#[derive(Debug, Clone, Copy)]
-pub struct Budget {
-    /// Maximum number of trigger applications.
-    pub max_applications: u64,
-    /// Maximum number of atoms in the instance.
-    pub max_atoms: usize,
-}
-
-impl Budget {
-    /// A budget with the given application cap and unlimited atoms.
-    pub fn applications(n: u64) -> Self {
-        Budget { max_applications: n, max_atoms: usize::MAX }
-    }
-}
-
-impl Default for Budget {
-    fn default() -> Self {
-        Budget { max_applications: 100_000, max_atoms: 1_000_000 }
-    }
-}
-
-/// How a budgeted run ended.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ChaseOutcome {
-    /// No unconsidered trigger remains: the chase terminated.
-    Saturated,
-    /// The budget ran out first; termination status unknown from this run.
-    BudgetExhausted,
-}
-
 /// Counters describing a chase run.
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct ChaseStats {
@@ -155,37 +131,44 @@ pub struct StepEvent {
 }
 
 #[derive(Debug)]
-struct Trigger {
-    rule: usize,
-    subst: Substitution,
+pub(crate) struct Trigger {
+    pub(crate) rule: usize,
+    pub(crate) subst: Substitution,
 }
 
 /// Skolem ancestry info for one null: its function tag `(rule, exvar)` and
 /// the set of tags occurring in its arguments' ancestries.
 #[derive(Debug, Clone)]
-struct SkolemInfo {
-    tag: u32,
-    ancestry: FxHashSet<u32>,
+pub(crate) struct SkolemInfo {
+    pub(crate) tag: u32,
+    pub(crate) ancestry: FxHashSet<u32>,
 }
 
 /// A stepwise chase executor. See the module docs.
+#[derive(Debug)]
 pub struct ChaseMachine<'p> {
-    program: &'p Program,
-    config: ChaseConfig,
-    instance: Instance,
-    queue: VecDeque<Trigger>,
-    seen: FxHashSet<(u32, Vec<Term>)>,
-    derivation: DerivationDag,
-    stats: ChaseStats,
-    skolem: FxHashMap<NullId, SkolemInfo>,
-    skolem_cyclic: Option<NullId>,
-    next_seq: u64,
-    rng_state: u64,
+    pub(crate) program: &'p Program,
+    pub(crate) config: ChaseConfig,
+    pub(crate) instance: Instance,
+    pub(crate) queue: VecDeque<Trigger>,
+    pub(crate) seen: FxHashSet<(u32, Vec<Term>)>,
+    pub(crate) derivation: DerivationDag,
+    pub(crate) stats: ChaseStats,
+    pub(crate) skolem: FxHashMap<NullId, SkolemInfo>,
+    pub(crate) skolem_cyclic: Option<NullId>,
+    pub(crate) next_seq: u64,
+    pub(crate) rng_state: u64,
+    /// Approximate resident bytes of instance + queue + identity set,
+    /// maintained incrementally (see `guard::approx_*_bytes`).
+    pub(crate) approx_bytes: usize,
+    pub(crate) cancel: Option<CancelToken>,
 }
 
 impl<'p> ChaseMachine<'p> {
     /// Creates a machine over `initial` and enqueues all initial triggers.
     pub fn new(program: &'p Program, config: ChaseConfig, initial: Instance) -> Self {
+        let initial_bytes: usize =
+            initial.iter().map(|(_, a)| approx_atom_bytes(a.arity())).sum();
         let mut machine = ChaseMachine {
             program,
             config,
@@ -202,11 +185,28 @@ impl<'p> ChaseMachine<'p> {
                 // Avoid the all-zero fixpoint of xorshift.
                 Scheduling::Random(seed) => seed | 1,
             },
+            approx_bytes: initial_bytes,
+            cancel: None,
         };
         for rule_idx in 0..program.rules().len() {
             machine.enqueue_matches(rule_idx, None);
         }
         machine
+    }
+
+    /// Installs a cancellation token; [`run`](Self::run) checks it between
+    /// trigger applications. Clone the token before installing it to keep a
+    /// handle for the controlling thread.
+    pub fn set_cancel_token(&mut self, token: CancelToken) {
+        self.cancel = Some(token);
+    }
+
+    /// The approximate resident size of the machine in bytes (instance +
+    /// pending-trigger queue + trigger-identity set). An estimate from
+    /// element counts and arities — cheap enough for the hot loop, not an
+    /// allocator measurement.
+    pub fn approx_memory_bytes(&self) -> usize {
+        self.approx_bytes
     }
 
     /// The current instance.
@@ -285,8 +285,11 @@ impl<'p> ChaseMachine<'p> {
 
         for subst in found {
             let key = variant.trigger_key(rule, &subst);
+            let key_len = key.len();
             if self.seen.insert((rule_idx as u32, key)) {
                 self.stats.triggers_enqueued += 1;
+                self.approx_bytes +=
+                    approx_identity_bytes(key_len) + approx_trigger_bytes(subst.len());
                 self.queue.push_back(Trigger { rule: rule_idx, subst });
             } else {
                 self.stats.triggers_deduped += 1;
@@ -296,7 +299,7 @@ impl<'p> ChaseMachine<'p> {
 
     /// Draws the next trigger according to the scheduling policy.
     fn next_trigger(&mut self) -> Option<Trigger> {
-        match self.config.scheduling {
+        let drawn = match self.config.scheduling {
             Scheduling::Fifo => self.queue.pop_front(),
             Scheduling::Random(_) => {
                 if self.queue.is_empty() {
@@ -311,7 +314,12 @@ impl<'p> ChaseMachine<'p> {
                 let idx = (x.wrapping_mul(0x2545_f491_4f6c_dd1d) as usize) % self.queue.len();
                 self.queue.swap_remove_back(idx)
             }
+        };
+        if let Some(t) = &drawn {
+            self.approx_bytes =
+                self.approx_bytes.saturating_sub(approx_trigger_bytes(t.subst.len()));
         }
+        drawn
     }
 
     /// Applies the next applicable trigger. Returns `None` when no trigger
@@ -398,9 +406,11 @@ impl<'p> ChaseMachine<'p> {
         for head_atom in rule.head() {
             let image = subst.apply_atom(head_atom);
             debug_assert!(image.is_ground());
+            let arity = image.arity();
             let (id, is_new) = self.instance.insert(image);
             if is_new {
                 self.stats.atoms_added += 1;
+                self.approx_bytes += approx_atom_bytes(arity);
                 if let Some(app) = app_idx {
                     self.derivation.record_atom(id, app);
                 }
@@ -458,21 +468,52 @@ impl<'p> ChaseMachine<'p> {
         }
     }
 
-    /// Runs until saturation or budget exhaustion.
-    pub fn run(&mut self, budget: &Budget) -> ChaseOutcome {
-        while self.stats.applications < budget.max_applications
-            && self.instance.len() < budget.max_atoms
-        {
+    /// Runs until saturation or the first guardrail: application cap, atom
+    /// cap, wall-clock deadline, memory ceiling, or cancellation. Always
+    /// stops at a step boundary, so the instance, queue, and derivation DAG
+    /// stay consistent (and snapshot-able) whatever the reason.
+    pub fn run(&mut self, budget: &Budget) -> StopReason {
+        let start = Instant::now();
+        // Wall-clock and memory are polled every `PERIOD` applications;
+        // both are cheap, but not hot-loop cheap on microsecond steps.
+        const PERIOD: u64 = 32;
+        loop {
+            if self.stats.applications >= budget.max_applications {
+                return self.boundary(StopReason::Applications);
+            }
+            if self.instance.len() >= budget.max_atoms {
+                return self.boundary(StopReason::Atoms);
+            }
+            if let Some(token) = &self.cancel {
+                if token.is_cancelled() {
+                    return self.boundary(StopReason::Cancelled);
+                }
+            }
+            if self.stats.applications.is_multiple_of(PERIOD) {
+                if let Some(limit) = budget.max_wall {
+                    if start.elapsed() >= limit {
+                        return self.boundary(StopReason::WallClock);
+                    }
+                }
+                if let Some(ceiling) = budget.max_memory {
+                    if self.approx_bytes >= ceiling {
+                        return self.boundary(StopReason::Memory);
+                    }
+                }
+            }
             if self.step().is_none() {
-                return ChaseOutcome::Saturated;
+                return StopReason::Saturated;
             }
         }
-        // One more probe: if the queue is empty we still saturated exactly
-        // at the budget boundary.
+    }
+
+    /// A guardrail tripped — but if no trigger is pending the chase in fact
+    /// saturated exactly at the boundary, which takes precedence.
+    fn boundary(&self, reason: StopReason) -> StopReason {
         if self.queue.is_empty() {
-            ChaseOutcome::Saturated
+            StopReason::Saturated
         } else {
-            ChaseOutcome::BudgetExhausted
+            reason
         }
     }
 }
@@ -481,7 +522,7 @@ impl<'p> ChaseMachine<'p> {
 #[derive(Debug)]
 pub struct ChaseResult {
     /// How the run ended.
-    pub outcome: ChaseOutcome,
+    pub outcome: StopReason,
     /// The final (or partial, on budget exhaustion) instance.
     pub instance: Instance,
     /// Run statistics.
@@ -561,7 +602,7 @@ mod tests {
             ChaseVariant::Restricted,
         ] {
             let r = chase(&p, variant, facts(&p), &Budget::applications(200));
-            assert_eq!(r.outcome, ChaseOutcome::BudgetExhausted, "{variant} should diverge");
+            assert_eq!(r.outcome, StopReason::Applications, "{variant} should diverge");
             assert!(r.stats.applications >= 200);
         }
     }
@@ -577,7 +618,7 @@ mod tests {
             ChaseVariant::Restricted,
         ] {
             let r = chase(&p, variant, facts(&p), &Budget::applications(100));
-            assert_eq!(r.outcome, ChaseOutcome::BudgetExhausted, "{variant} should diverge");
+            assert_eq!(r.outcome, StopReason::Applications, "{variant} should diverge");
         }
     }
 
@@ -587,10 +628,10 @@ mod tests {
     fn oblivious_vs_semi_oblivious_separation() {
         let p = Program::parse("r(a, b). r(X, Y) -> r(X, Z).").unwrap();
         let o = chase(&p, ChaseVariant::Oblivious, facts(&p), &Budget::applications(100));
-        assert_eq!(o.outcome, ChaseOutcome::BudgetExhausted);
+        assert_eq!(o.outcome, StopReason::Applications);
 
         let so = chase(&p, ChaseVariant::SemiOblivious, facts(&p), &Budget::applications(100));
-        assert_eq!(so.outcome, ChaseOutcome::Saturated);
+        assert_eq!(so.outcome, StopReason::Saturated);
         // r(a,b) plus one invented r(a, z).
         assert_eq!(so.instance.len(), 2);
         assert!(is_model(&p, &so.instance));
@@ -602,7 +643,7 @@ mod tests {
         let p = Program::parse("p(a). p(X) -> e(X, Y). e(X, Y) -> p(X).").unwrap();
         for variant in [ChaseVariant::Oblivious, ChaseVariant::SemiOblivious] {
             let r = chase(&p, variant, facts(&p), &Budget::applications(100));
-            assert_eq!(r.outcome, ChaseOutcome::Saturated, "{variant}");
+            assert_eq!(r.outcome, StopReason::Saturated, "{variant}");
             assert!(is_model(&p, &r.instance));
         }
     }
@@ -613,13 +654,13 @@ mod tests {
     fn restricted_skips_satisfied_heads() {
         let p = Program::parse("e(a, a). e(X, Y) -> e(Y, Z).").unwrap();
         let r = chase(&p, ChaseVariant::Restricted, facts(&p), &Budget::applications(100));
-        assert_eq!(r.outcome, ChaseOutcome::Saturated);
+        assert_eq!(r.outcome, StopReason::Saturated);
         // e(a,a) already satisfies the head for Y=a; nothing is added.
         assert_eq!(r.instance.len(), 1);
         assert_eq!(r.stats.satisfied_skips, 1);
 
         let so = chase(&p, ChaseVariant::SemiOblivious, facts(&p), &Budget::applications(100));
-        assert_eq!(so.outcome, ChaseOutcome::BudgetExhausted);
+        assert_eq!(so.outcome, StopReason::Applications);
     }
 
     /// Datalog programs saturate and compute the expected closure.
@@ -637,7 +678,7 @@ mod tests {
             ChaseVariant::Restricted,
         ] {
             let r = chase(&p, variant, facts(&p), &Budget::default());
-            assert_eq!(r.outcome, ChaseOutcome::Saturated, "{variant}");
+            assert_eq!(r.outcome, StopReason::Saturated, "{variant}");
             // 3 base edges + 6 closure pairs.
             assert_eq!(r.instance.len(), 9, "{variant}");
             assert!(is_model(&p, &r.instance));
@@ -654,8 +695,8 @@ mod tests {
         .unwrap();
         let so = chase(&p, ChaseVariant::SemiOblivious, facts(&p), &Budget::default());
         let rst = chase(&p, ChaseVariant::Restricted, facts(&p), &Budget::default());
-        assert_eq!(so.outcome, ChaseOutcome::Saturated);
-        assert_eq!(rst.outcome, ChaseOutcome::Saturated);
+        assert_eq!(so.outcome, StopReason::Saturated);
+        assert_eq!(rst.outcome, StopReason::Saturated);
         assert!(is_model(&p, &so.instance));
         assert!(is_model(&p, &rst.instance));
         assert!(contains_instance(&so.instance, &facts(&p)));
@@ -672,7 +713,7 @@ mod tests {
             ChaseConfig::of(ChaseVariant::SemiOblivious).with_derivation(),
             facts(&p),
         );
-        assert_eq!(m.run(&Budget::default()), ChaseOutcome::Saturated);
+        assert_eq!(m.run(&Budget::default()), StopReason::Saturated);
         let dag = m.derivation();
         assert_eq!(dag.applications().len(), 2);
         assert_eq!(dag.max_depth(), 2);
@@ -704,7 +745,7 @@ mod tests {
             ChaseConfig::of(ChaseVariant::SemiOblivious).with_skolem(),
             facts(&p),
         );
-        assert_eq!(m.run(&Budget::default()), ChaseOutcome::Saturated);
+        assert_eq!(m.run(&Budget::default()), StopReason::Saturated);
         assert!(m.skolem_cyclic().is_none());
     }
 
@@ -712,7 +753,7 @@ mod tests {
     fn empty_instance_with_no_facts_saturates_immediately() {
         let p = Program::parse("p(X) -> q(X).").unwrap();
         let r = chase(&p, ChaseVariant::Oblivious, Instance::new(), &Budget::default());
-        assert_eq!(r.outcome, ChaseOutcome::Saturated);
+        assert_eq!(r.outcome, StopReason::Saturated);
         assert_eq!(r.stats.applications, 0);
         assert!(r.instance.is_empty());
     }
@@ -722,7 +763,7 @@ mod tests {
         // Two rules generating the same atom q(a).
         let p = Program::parse("p(a). p(X) -> q(X). r(a). r(X) -> q(X).").unwrap();
         let r = chase(&p, ChaseVariant::SemiOblivious, facts(&p), &Budget::default());
-        assert_eq!(r.outcome, ChaseOutcome::Saturated);
+        assert_eq!(r.outcome, StopReason::Saturated);
         assert_eq!(r.stats.applications, 2);
         assert_eq!(r.stats.atoms_added, 1);
         assert_eq!(r.stats.duplicate_atoms, 1);
@@ -733,7 +774,7 @@ mod tests {
         let p = Program::parse("p(a, b). p(X, Y) -> p(Y, Z).").unwrap();
         let r = chase(&p, ChaseVariant::Oblivious, facts(&p), &Budget::applications(17));
         assert_eq!(r.stats.applications, 17);
-        assert_eq!(r.outcome, ChaseOutcome::BudgetExhausted);
+        assert_eq!(r.outcome, StopReason::Applications);
     }
 
     #[test]
@@ -744,7 +785,7 @@ mod tests {
         )
         .unwrap();
         let r = chase(&p, ChaseVariant::SemiOblivious, facts(&p), &Budget::default());
-        assert_eq!(r.outcome, ChaseOutcome::Saturated);
+        assert_eq!(r.outcome, StopReason::Saturated);
         let t = p.vocab.pred("t").unwrap();
         assert_eq!(r.instance.with_pred(t).len(), 1);
     }
@@ -757,7 +798,7 @@ mod tests {
         )
         .unwrap();
         let r = chase(&p, ChaseVariant::SemiOblivious, facts(&p), &Budget::default());
-        assert_eq!(r.outcome, ChaseOutcome::Saturated);
+        assert_eq!(r.outcome, StopReason::Saturated);
         let link = p.vocab.pred("link").unwrap();
         assert_eq!(r.instance.with_pred(link).len(), 2);
     }
@@ -788,17 +829,18 @@ mod scheduling_tests {
         for seed in 1..=20u64 {
             let cfg = ChaseConfig::of(ChaseVariant::Restricted).with_random_scheduling(seed);
             let mut m = ChaseMachine::new(&p, cfg, db());
-            match m.run(&budget) {
-                ChaseOutcome::Saturated => saturating_seeds += 1,
-                ChaseOutcome::BudgetExhausted => diverging_seeds += 1,
+            if m.run(&budget).is_saturated() {
+                saturating_seeds += 1;
+            } else {
+                diverging_seeds += 1;
             }
         }
 
         // Both behaviours must be observable across orders.
         let total_saturating =
-            saturating_seeds + (fifo_outcome == ChaseOutcome::Saturated) as u32;
+            saturating_seeds + (fifo_outcome == StopReason::Saturated) as u32;
         let total_diverging =
-            diverging_seeds + (fifo_outcome == ChaseOutcome::BudgetExhausted) as u32;
+            diverging_seeds + (fifo_outcome == StopReason::Applications) as u32;
         assert!(
             total_saturating > 0,
             "expected at least one order to saturate (fifo: {fifo_outcome:?})"
@@ -819,13 +861,13 @@ mod scheduling_tests {
         let db = || Instance::from_atoms(p.facts().iter().cloned());
         let fifo = {
             let mut m = ChaseMachine::new(&p, ChaseConfig::of(ChaseVariant::SemiOblivious), db());
-            assert_eq!(m.run(&Budget::default()), ChaseOutcome::Saturated);
+            assert_eq!(m.run(&Budget::default()), StopReason::Saturated);
             m.into_instance()
         };
         for seed in 1..=5u64 {
             let cfg = ChaseConfig::of(ChaseVariant::SemiOblivious).with_random_scheduling(seed);
             let mut m = ChaseMachine::new(&p, cfg, db());
-            assert_eq!(m.run(&Budget::default()), ChaseOutcome::Saturated);
+            assert_eq!(m.run(&Budget::default()), StopReason::Saturated);
             let inst = m.into_instance();
             assert_eq!(inst.len(), fifo.len(), "seed {seed}");
             for (_, atom) in fifo.iter() {
@@ -857,5 +899,196 @@ mod scheduling_tests {
             "alive count: {}",
             m.instance().with_pred(alive).len()
         );
+    }
+}
+
+#[cfg(test)]
+mod guard_tests {
+    use super::*;
+    use std::time::Duration;
+
+    const DIVERGING: &str = "p(a, b). p(X, Y) -> p(Y, Z).";
+
+    fn machine(p: &Program) -> ChaseMachine<'_> {
+        ChaseMachine::new(
+            p,
+            ChaseConfig::of(ChaseVariant::Oblivious),
+            Instance::from_atoms(p.facts().iter().cloned()),
+        )
+    }
+
+    /// Every `StopReason` variant is reachable from a real run.
+    #[test]
+    fn stop_reason_saturated_is_reachable() {
+        let p = Program::parse("p(a). p(X) -> q(X).").unwrap();
+        assert_eq!(machine(&p).run(&Budget::default()), StopReason::Saturated);
+    }
+
+    #[test]
+    fn stop_reason_applications_is_reachable() {
+        let p = Program::parse(DIVERGING).unwrap();
+        assert_eq!(machine(&p).run(&Budget::applications(10)), StopReason::Applications);
+    }
+
+    #[test]
+    fn stop_reason_atoms_is_reachable() {
+        let p = Program::parse(DIVERGING).unwrap();
+        let budget = Budget::unlimited().with_atoms(5);
+        let mut m = machine(&p);
+        assert_eq!(m.run(&budget), StopReason::Atoms);
+        assert!(m.instance().len() >= 5);
+    }
+
+    #[test]
+    fn stop_reason_wall_clock_is_reachable() {
+        let p = Program::parse(DIVERGING).unwrap();
+        let budget = Budget::unlimited().with_wall_clock(Duration::from_millis(20));
+        let mut m = machine(&p);
+        assert_eq!(m.run(&budget), StopReason::WallClock);
+    }
+
+    #[test]
+    fn stop_reason_memory_is_reachable() {
+        let p = Program::parse(DIVERGING).unwrap();
+        let budget = Budget::unlimited().with_memory(16 * 1024);
+        let mut m = machine(&p);
+        assert_eq!(m.run(&budget), StopReason::Memory);
+        assert!(m.approx_memory_bytes() >= 16 * 1024);
+    }
+
+    #[test]
+    fn stop_reason_cancelled_is_reachable() {
+        let p = Program::parse(DIVERGING).unwrap();
+        let mut m = machine(&p);
+        let token = CancelToken::new();
+        m.set_cancel_token(token.clone());
+        // Pre-cancelled: the run must stop on the very first check without
+        // applying anything.
+        token.cancel();
+        assert_eq!(m.run(&Budget::unlimited()), StopReason::Cancelled);
+        assert_eq!(m.stats().applications, 0);
+    }
+
+    /// Cancellation from another thread stops a diverging run promptly.
+    #[test]
+    fn cancellation_works_cross_thread() {
+        let p = Program::parse(DIVERGING).unwrap();
+        let mut m = machine(&p);
+        let token = CancelToken::new();
+        m.set_cancel_token(token.clone());
+        let stop = std::thread::scope(|scope| {
+            scope.spawn(move || {
+                std::thread::sleep(Duration::from_millis(10));
+                token.cancel();
+            });
+            m.run(&Budget::unlimited().with_wall_clock(Duration::from_secs(30)))
+        });
+        assert_eq!(stop, StopReason::Cancelled);
+    }
+
+    /// A guardrail that trips exactly when the queue happens to drain still
+    /// reports saturation (the boundary probe the old binary outcome had).
+    #[test]
+    fn saturation_at_the_boundary_beats_the_guardrail() {
+        // Saturates in exactly 2 applications.
+        let p = Program::parse("p(a). p(X) -> q(X). q(X) -> r(X).").unwrap();
+        let mut m = machine(&p);
+        assert_eq!(m.run(&Budget::applications(2)), StopReason::Saturated);
+
+        // Cancelling after saturation also reports saturation.
+        let p2 = Program::parse("p(a). p(X) -> q(X).").unwrap();
+        let mut m2 = machine(&p2);
+        assert_eq!(m2.run(&Budget::default()), StopReason::Saturated);
+        let token = CancelToken::new();
+        m2.set_cancel_token(token.clone());
+        token.cancel();
+        assert_eq!(m2.run(&Budget::default()), StopReason::Saturated);
+    }
+
+    /// Asserts the machine's partial state is internally consistent: every
+    /// derivation-recorded atom exists, every parent id is a real atom, and
+    /// every pending trigger's bound terms refer to existing constants or
+    /// already-minted nulls.
+    fn assert_consistent(m: &ChaseMachine<'_>) {
+        let len = m.instance.len();
+        for (id, app) in (0..len).filter_map(|i| {
+            let id = AtomId::from_index(i);
+            m.derivation.creator_of(id).map(|a| (id, a))
+        }) {
+            for &parent in &app.parents {
+                assert!(parent.index() < len, "dangling parent {parent:?} of {id:?}");
+            }
+            for &null in &app.born_nulls {
+                assert!((null.0 as usize) < m.instance.null_count(), "unminted null {null:?}");
+            }
+        }
+        for t in &m.queue {
+            for v in 0..t.subst.len() {
+                if let Some(Term::Null(n)) = t.subst.get(chasekit_core::VarId(v as u32)) {
+                    assert!(
+                        (n.0 as usize) < m.instance.null_count(),
+                        "pending trigger references unminted null {n:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Wall-clock and cancellation stops land on step boundaries: the
+    /// partial instance and derivation DAG have no dangling references.
+    #[test]
+    fn wall_clock_stop_leaves_consistent_partial_state() {
+        let p = Program::parse(DIVERGING).unwrap();
+        let mut m = ChaseMachine::new(
+            &p,
+            ChaseConfig::of(ChaseVariant::Oblivious).with_derivation(),
+            Instance::from_atoms(p.facts().iter().cloned()),
+        );
+        let stop = m.run(&Budget::unlimited().with_wall_clock(Duration::from_millis(15)));
+        assert_eq!(stop, StopReason::WallClock);
+        assert!(m.stats().applications > 0);
+        assert_consistent(&m);
+    }
+
+    #[test]
+    fn cancelled_stop_leaves_consistent_partial_state() {
+        let p = Program::parse(DIVERGING).unwrap();
+        let mut m = ChaseMachine::new(
+            &p,
+            ChaseConfig::of(ChaseVariant::Oblivious).with_derivation(),
+            Instance::from_atoms(p.facts().iter().cloned()),
+        );
+        // Run a prefix, then cancel and run again: both stops must leave
+        // consistent state.
+        let _ = m.run(&Budget::applications(40));
+        assert_consistent(&m);
+        let token = CancelToken::new();
+        m.set_cancel_token(token.clone());
+        token.cancel();
+        assert_eq!(m.run(&Budget::unlimited()), StopReason::Cancelled);
+        assert_consistent(&m);
+    }
+
+    /// The incremental memory estimate stays in lockstep with a from-scratch
+    /// recomputation as the run grows.
+    #[test]
+    fn memory_accounting_matches_recomputation() {
+        let p = Program::parse(DIVERGING).unwrap();
+        let mut m = machine(&p);
+        for _ in 0..50 {
+            if m.step().is_none() {
+                break;
+            }
+            let atoms: usize =
+                m.instance.iter().map(|(_, a)| crate::guard::approx_atom_bytes(a.arity())).sum();
+            let queue: usize = m
+                .queue
+                .iter()
+                .map(|t| crate::guard::approx_trigger_bytes(t.subst.len()))
+                .sum();
+            let seen: usize =
+                m.seen.iter().map(|(_, k)| crate::guard::approx_identity_bytes(k.len())).sum();
+            assert_eq!(m.approx_memory_bytes(), atoms + queue + seen);
+        }
     }
 }

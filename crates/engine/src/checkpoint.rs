@@ -1,0 +1,729 @@
+//! Checkpoint/resume for chase runs.
+//!
+//! A [`Checkpoint`] captures everything a [`ChaseMachine`] needs to pick a
+//! run back up exactly where it stopped: the instance (with the null
+//! high-water mark), the pending-trigger queue, the trigger-identity set,
+//! the scheduler RNG state, sequence counter, run statistics, and — when
+//! tracking is enabled — the derivation DAG and Skolem-ancestry tables.
+//!
+//! **Determinism guarantee.** For a FIFO-scheduled run, interrupting at
+//! any step boundary (deadline, cancellation, any budget), snapshotting,
+//! and resuming yields *exactly* the same final instance, stats, and
+//! derivation as the uninterrupted run — the queue order and identity set
+//! are preserved verbatim. The same holds for `Scheduling::Random` because
+//! the xorshift state is part of the snapshot. This is what makes
+//! wall-clock guardrails safe to use in experiments: a killed-and-resumed
+//! sample is the same sample.
+//!
+//! Checkpoints serialize to a line-oriented text format
+//! ([`Checkpoint::to_text`]/[`Checkpoint::from_text`]) so the CLI can park
+//! long runs on disk (`chasekit chase --checkpoint FILE`). The text format
+//! intentionally excludes derivation/Skolem tracking state (those runs
+//! are analysis runs, not long-haul runs); in-memory snapshots carry both.
+//! A fingerprint of the program text guards against resuming a checkpoint
+//! under a different program, which would silently corrupt the run.
+
+use chasekit_core::display::program_to_string;
+use chasekit_core::{
+    Atom, FxHashMap, FxHashSet, Instance, NullId, PredId, Program, Substitution, Term, VarId,
+};
+
+use crate::chase::{ChaseConfig, ChaseMachine, ChaseStats, Scheduling, SkolemInfo, Trigger};
+use crate::variant::ChaseVariant;
+
+/// Why a checkpoint could not be created, serialized, or resumed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// The checkpoint was taken under a different program than the one
+    /// offered for resume.
+    ProgramMismatch {
+        /// Fingerprint recorded in the checkpoint.
+        expected: u64,
+        /// Fingerprint of the program offered for resume.
+        found: u64,
+    },
+    /// The checkpoint references state the program cannot supply (e.g. a
+    /// rule index out of range).
+    Inconsistent(String),
+    /// This checkpoint cannot be written as text (derivation or Skolem
+    /// tracking was enabled; only in-memory snapshots carry those).
+    Unserializable(&'static str),
+    /// The text form could not be parsed.
+    Parse(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::ProgramMismatch { expected, found } => write!(
+                f,
+                "checkpoint was taken under a different program \
+                 (fingerprint {expected:016x}, offered program has {found:016x})"
+            ),
+            CheckpointError::Inconsistent(msg) => {
+                write!(f, "checkpoint is inconsistent with the program: {msg}")
+            }
+            CheckpointError::Unserializable(what) => {
+                write!(f, "checkpoint cannot be serialized: {what}")
+            }
+            CheckpointError::Parse(msg) => write!(f, "malformed checkpoint: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// A point-in-time capture of a chase run. See the module docs.
+#[derive(Debug, Clone)]
+pub struct Checkpoint {
+    config: ChaseConfig,
+    program_fingerprint: u64,
+    atoms: Vec<Atom>,
+    next_null: u32,
+    /// Pending triggers in queue order: rule index + substitution slots.
+    queue: Vec<(usize, Vec<Option<Term>>)>,
+    /// Trigger-identity entries, sorted for a canonical byte representation.
+    seen: Vec<(u32, Vec<Term>)>,
+    stats: ChaseStats,
+    next_seq: u64,
+    rng_state: u64,
+    derivation: crate::derivation::DerivationDag,
+    skolem: Vec<(NullId, SkolemInfo)>,
+    skolem_cyclic: Option<NullId>,
+}
+
+/// FNV-1a over the canonical program text: cheap, stable across runs, and
+/// collision-resistant enough for "is this the same program file".
+pub(crate) fn program_fingerprint(program: &Program) -> u64 {
+    let text = program_to_string(program);
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in text.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl<'p> ChaseMachine<'p> {
+    /// Captures the machine's complete run state. Cheap relative to a chase
+    /// run (clones the instance, queue, and identity set); callable at any
+    /// step boundary, including after a guardrail stop.
+    pub fn snapshot(&self) -> Checkpoint {
+        let mut seen: Vec<(u32, Vec<Term>)> = self.seen.iter().cloned().collect();
+        seen.sort();
+        let mut skolem: Vec<(NullId, SkolemInfo)> =
+            self.skolem.iter().map(|(k, v)| (*k, v.clone())).collect();
+        skolem.sort_by_key(|(n, _)| *n);
+        Checkpoint {
+            config: self.config,
+            program_fingerprint: program_fingerprint(self.program),
+            atoms: self.instance.iter().map(|(_, a)| a.clone()).collect(),
+            next_null: self.instance.null_count() as u32,
+            queue: self
+                .queue
+                .iter()
+                .map(|t| {
+                    let slots = (0..t.subst.len())
+                        .map(|v| t.subst.get(VarId(v as u32)))
+                        .collect();
+                    (t.rule, slots)
+                })
+                .collect(),
+            seen,
+            stats: self.stats.clone(),
+            next_seq: self.next_seq,
+            rng_state: self.rng_state,
+            derivation: self.derivation.clone(),
+            skolem,
+            skolem_cyclic: self.skolem_cyclic,
+        }
+    }
+}
+
+impl Checkpoint {
+    /// Run statistics at the moment of the snapshot.
+    pub fn stats(&self) -> &ChaseStats {
+        &self.stats
+    }
+
+    /// Number of pending triggers captured.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Number of instance atoms captured.
+    pub fn atoms(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Reconstructs a runnable machine from this checkpoint.
+    ///
+    /// `program` must be the same program the checkpoint was taken under
+    /// (checked by fingerprint). The resumed machine continues the run
+    /// deterministically: same queue order, same identity set, same RNG
+    /// state, same statistics.
+    pub fn resume<'p>(&self, program: &'p Program) -> Result<ChaseMachine<'p>, CheckpointError> {
+        let found = program_fingerprint(program);
+        if found != self.program_fingerprint {
+            return Err(CheckpointError::ProgramMismatch {
+                expected: self.program_fingerprint,
+                found,
+            });
+        }
+
+        let mut instance = Instance::from_atoms(self.atoms.iter().cloned());
+        // Restore the null high-water mark: nulls may have been minted past
+        // the highest null occurring in an atom (e.g. imported instances).
+        while instance.null_count() < self.next_null as usize {
+            instance.fresh_null();
+        }
+
+        let mut queue = std::collections::VecDeque::with_capacity(self.queue.len());
+        let mut queue_bytes = 0usize;
+        for (rule_idx, slots) in &self.queue {
+            let rule = program.rules().get(*rule_idx).ok_or_else(|| {
+                CheckpointError::Inconsistent(format!(
+                    "pending trigger references rule #{rule_idx}, but the program has {} rules",
+                    program.rules().len()
+                ))
+            })?;
+            if slots.len() != rule.var_count() {
+                return Err(CheckpointError::Inconsistent(format!(
+                    "pending trigger for rule #{rule_idx} has {} slots, rule has {} variables",
+                    slots.len(),
+                    rule.var_count()
+                )));
+            }
+            let mut subst = Substitution::new(slots.len());
+            for (v, slot) in slots.iter().enumerate() {
+                if let Some(t) = slot {
+                    subst.bind(VarId(v as u32), *t);
+                }
+            }
+            queue_bytes += crate::guard::approx_trigger_bytes(subst.len());
+            queue.push_back(Trigger { rule: *rule_idx, subst });
+        }
+
+        let mut seen: FxHashSet<(u32, Vec<Term>)> = FxHashSet::default();
+        let mut seen_bytes = 0usize;
+        for entry in &self.seen {
+            seen_bytes += crate::guard::approx_identity_bytes(entry.1.len());
+            seen.insert(entry.clone());
+        }
+
+        let atom_bytes: usize = instance
+            .iter()
+            .map(|(_, a)| crate::guard::approx_atom_bytes(a.arity()))
+            .sum();
+
+        let skolem: FxHashMap<NullId, SkolemInfo> =
+            self.skolem.iter().map(|(k, v)| (*k, v.clone())).collect();
+
+        Ok(ChaseMachine {
+            program,
+            config: self.config,
+            instance,
+            queue,
+            seen,
+            derivation: self.derivation.clone(),
+            stats: self.stats.clone(),
+            skolem,
+            skolem_cyclic: self.skolem_cyclic,
+            next_seq: self.next_seq,
+            rng_state: self.rng_state,
+            approx_bytes: atom_bytes + queue_bytes + seen_bytes,
+            cancel: None,
+        })
+    }
+
+    /// Serializes the checkpoint to the line-oriented text format.
+    ///
+    /// Fails with [`CheckpointError::Unserializable`] if the run tracked
+    /// derivations or Skolem ancestry — those analysis structures are only
+    /// carried by in-memory snapshots.
+    pub fn to_text(&self) -> Result<String, CheckpointError> {
+        if self.config.track_derivation {
+            return Err(CheckpointError::Unserializable(
+                "derivation tracking is enabled; use an in-memory snapshot",
+            ));
+        }
+        if self.config.track_skolem {
+            return Err(CheckpointError::Unserializable(
+                "skolem tracking is enabled; use an in-memory snapshot",
+            ));
+        }
+
+        let mut out = String::new();
+        out.push_str("chasekit-checkpoint v1\n");
+        out.push_str(&format!("program {:016x}\n", self.program_fingerprint));
+        let variant = match self.config.variant {
+            ChaseVariant::Oblivious => "oblivious",
+            ChaseVariant::SemiOblivious => "semi-oblivious",
+            ChaseVariant::Restricted => "restricted",
+        };
+        out.push_str(&format!("variant {variant}\n"));
+        out.push_str(&format!("naive-matching {}\n", self.config.naive_matching as u8));
+        match self.config.scheduling {
+            Scheduling::Fifo => out.push_str("scheduling fifo\n"),
+            Scheduling::Random(seed) => out.push_str(&format!("scheduling random {seed}\n")),
+        }
+        out.push_str(&format!("rng {}\n", self.rng_state));
+        out.push_str(&format!("seq {}\n", self.next_seq));
+        out.push_str(&format!("nulls {}\n", self.next_null));
+        let s = &self.stats;
+        out.push_str(&format!(
+            "stats {} {} {} {} {} {} {}\n",
+            s.applications,
+            s.atoms_added,
+            s.duplicate_atoms,
+            s.triggers_enqueued,
+            s.triggers_deduped,
+            s.satisfied_skips,
+            s.nulls_minted
+        ));
+
+        out.push_str(&format!("atoms {}\n", self.atoms.len()));
+        for atom in &self.atoms {
+            out.push_str(&format!("a {}", atom.pred.0));
+            for &t in &atom.args {
+                out.push(' ');
+                out.push_str(&term_token(t)?);
+            }
+            out.push('\n');
+        }
+
+        out.push_str(&format!("queue {}\n", self.queue.len()));
+        for (rule, slots) in &self.queue {
+            out.push_str(&format!("q {rule}"));
+            for slot in slots {
+                out.push(' ');
+                match slot {
+                    Some(t) => out.push_str(&term_token(*t)?),
+                    None => out.push('_'),
+                }
+            }
+            out.push('\n');
+        }
+
+        out.push_str(&format!("seen {}\n", self.seen.len()));
+        for (rule, key) in &self.seen {
+            out.push_str(&format!("s {rule}"));
+            for &t in key {
+                out.push(' ');
+                out.push_str(&term_token(t)?);
+            }
+            out.push('\n');
+        }
+        out.push_str("end\n");
+        Ok(out)
+    }
+
+    /// Parses the text format produced by [`Checkpoint::to_text`].
+    pub fn from_text(text: &str) -> Result<Checkpoint, CheckpointError> {
+        let mut lines = text.lines().enumerate();
+        let mut next = |what: &str| -> Result<(usize, &str), CheckpointError> {
+            lines
+                .next()
+                .map(|(i, l)| (i + 1, l))
+                .ok_or_else(|| CheckpointError::Parse(format!("unexpected end of file, expected {what}")))
+        };
+
+        let (_, header) = next("header")?;
+        if header.trim() != "chasekit-checkpoint v1" {
+            return Err(CheckpointError::Parse(format!(
+                "bad header {header:?} (expected \"chasekit-checkpoint v1\")"
+            )));
+        }
+
+        let program_fingerprint = {
+            let (n, l) = next("program line")?;
+            let rest = l.strip_prefix("program ").ok_or_else(|| bad(n, l, "program <hex>"))?;
+            u64::from_str_radix(rest.trim(), 16).map_err(|_| bad(n, l, "program <hex>"))?
+        };
+
+        let variant = {
+            let (n, l) = next("variant line")?;
+            let rest = l.strip_prefix("variant ").ok_or_else(|| bad(n, l, "variant <name>"))?;
+            match rest.trim() {
+                "oblivious" => ChaseVariant::Oblivious,
+                "semi-oblivious" => ChaseVariant::SemiOblivious,
+                "restricted" => ChaseVariant::Restricted,
+                other => {
+                    return Err(CheckpointError::Parse(format!(
+                        "line {n}: unknown chase variant {other:?}"
+                    )))
+                }
+            }
+        };
+
+        let naive_matching = {
+            let (n, l) = next("naive-matching line")?;
+            let rest =
+                l.strip_prefix("naive-matching ").ok_or_else(|| bad(n, l, "naive-matching <0|1>"))?;
+            match rest.trim() {
+                "0" => false,
+                "1" => true,
+                _ => return Err(bad(n, l, "naive-matching <0|1>")),
+            }
+        };
+
+        let scheduling = {
+            let (n, l) = next("scheduling line")?;
+            let rest = l.strip_prefix("scheduling ").ok_or_else(|| bad(n, l, "scheduling <policy>"))?;
+            let mut parts = rest.split_whitespace();
+            match (parts.next(), parts.next()) {
+                (Some("fifo"), None) => Scheduling::Fifo,
+                (Some("random"), Some(seed)) => Scheduling::Random(
+                    seed.parse().map_err(|_| bad(n, l, "scheduling random <seed>"))?,
+                ),
+                _ => return Err(bad(n, l, "scheduling fifo|random <seed>")),
+            }
+        };
+
+        let rng_state: u64 = {
+            let (n, l) = next("rng line")?;
+            kv(n, l, "rng")?
+        };
+        let next_seq: u64 = {
+            let (n, l) = next("seq line")?;
+            kv(n, l, "seq")?
+        };
+        let next_null: u32 = {
+            let (n, l) = next("nulls line")?;
+            kv(n, l, "nulls")?
+        };
+
+        let stats = {
+            let (n, l) = next("stats line")?;
+            let rest = l.strip_prefix("stats ").ok_or_else(|| bad(n, l, "stats <7 counters>"))?;
+            let nums: Vec<u64> = rest
+                .split_whitespace()
+                .map(|w| w.parse::<u64>())
+                .collect::<Result<_, _>>()
+                .map_err(|_| bad(n, l, "stats <7 counters>"))?;
+            if nums.len() != 7 {
+                return Err(bad(n, l, "stats <7 counters>"));
+            }
+            ChaseStats {
+                applications: nums[0],
+                atoms_added: nums[1],
+                duplicate_atoms: nums[2],
+                triggers_enqueued: nums[3],
+                triggers_deduped: nums[4],
+                satisfied_skips: nums[5],
+                nulls_minted: nums[6],
+            }
+        };
+
+        let atom_count: usize = {
+            let (n, l) = next("atoms line")?;
+            kv(n, l, "atoms")?
+        };
+        let mut atoms = Vec::with_capacity(atom_count);
+        for _ in 0..atom_count {
+            let (n, l) = next("atom line")?;
+            let rest = l.strip_prefix("a ").ok_or_else(|| bad(n, l, "a <pred> <terms...>"))?;
+            let mut parts = rest.split_whitespace();
+            let pred: u32 = parts
+                .next()
+                .and_then(|w| w.parse().ok())
+                .ok_or_else(|| bad(n, l, "a <pred> <terms...>"))?;
+            let args = parts
+                .map(|w| parse_term_token(w).ok_or_else(|| bad(n, l, "term token")))
+                .collect::<Result<Vec<_>, _>>()?
+                .into_iter()
+                .map(|t| t.ok_or_else(|| bad(n, l, "ground term (no `_`)")))
+                .collect::<Result<Vec<_>, _>>()?;
+            atoms.push(Atom::new(PredId(pred), args));
+        }
+
+        let queue_count: usize = {
+            let (n, l) = next("queue line")?;
+            kv(n, l, "queue")?
+        };
+        let mut queue = Vec::with_capacity(queue_count);
+        for _ in 0..queue_count {
+            let (n, l) = next("queue line")?;
+            let rest = l.strip_prefix("q ").ok_or_else(|| bad(n, l, "q <rule> <slots...>"))?;
+            let mut parts = rest.split_whitespace();
+            let rule: usize = parts
+                .next()
+                .and_then(|w| w.parse().ok())
+                .ok_or_else(|| bad(n, l, "q <rule> <slots...>"))?;
+            let slots = parts
+                .map(|w| parse_term_token(w).ok_or_else(|| bad(n, l, "slot token")))
+                .collect::<Result<Vec<_>, _>>()?;
+            queue.push((rule, slots));
+        }
+
+        let seen_count: usize = {
+            let (n, l) = next("seen line")?;
+            kv(n, l, "seen")?
+        };
+        let mut seen = Vec::with_capacity(seen_count);
+        for _ in 0..seen_count {
+            let (n, l) = next("seen line")?;
+            let rest = l.strip_prefix("s ").ok_or_else(|| bad(n, l, "s <rule> <terms...>"))?;
+            let mut parts = rest.split_whitespace();
+            let rule: u32 = parts
+                .next()
+                .and_then(|w| w.parse().ok())
+                .ok_or_else(|| bad(n, l, "s <rule> <terms...>"))?;
+            let key = parts
+                .map(|w| parse_term_token(w).ok_or_else(|| bad(n, l, "term token")))
+                .collect::<Result<Vec<_>, _>>()?
+                .into_iter()
+                .map(|t| t.ok_or_else(|| bad(n, l, "ground term (no `_`)")))
+                .collect::<Result<Vec<_>, _>>()?;
+            seen.push((rule, key));
+        }
+
+        let (n, l) = next("end line")?;
+        if l.trim() != "end" {
+            return Err(bad(n, l, "end"));
+        }
+
+        Ok(Checkpoint {
+            config: ChaseConfig {
+                variant,
+                track_derivation: false,
+                track_skolem: false,
+                naive_matching,
+                scheduling,
+            },
+            program_fingerprint,
+            atoms,
+            next_null,
+            queue,
+            seen,
+            stats,
+            next_seq,
+            rng_state,
+            derivation: crate::derivation::DerivationDag::new(),
+            skolem: Vec::new(),
+            skolem_cyclic: None,
+        })
+    }
+}
+
+fn bad(line: usize, content: &str, expected: &str) -> CheckpointError {
+    CheckpointError::Parse(format!("line {line}: {content:?} (expected `{expected}`)"))
+}
+
+/// Parses a `<key> <number>` line.
+fn kv<T: std::str::FromStr>(n: usize, l: &str, key: &str) -> Result<T, CheckpointError> {
+    let expected = format!("{key} <number>");
+    let rest = l
+        .strip_prefix(key)
+        .and_then(|r| r.strip_prefix(' '))
+        .ok_or_else(|| bad(n, l, &expected))?;
+    rest.trim().parse().map_err(|_| bad(n, l, &expected))
+}
+
+/// `c<id>` for constants, `n<id>` for nulls, `_` for an unbound slot.
+/// Variables never occur in checkpoints (all captured terms are ground).
+fn term_token(t: Term) -> Result<String, CheckpointError> {
+    match t {
+        Term::Const(c) => Ok(format!("c{}", c.0)),
+        Term::Null(n) => Ok(format!("n{}", n.0)),
+        Term::Var(_) => Err(CheckpointError::Unserializable(
+            "checkpoint contains a non-ground term",
+        )),
+    }
+}
+
+/// Inverse of [`term_token`]: `Some(None)` is the `_` unbound marker.
+fn parse_term_token(w: &str) -> Option<Option<Term>> {
+    if w == "_" {
+        return Some(None);
+    }
+    let (kind, id) = w.split_at(1);
+    let id: u32 = id.parse().ok()?;
+    match kind {
+        "c" => Some(Some(Term::Const(chasekit_core::ConstId(id)))),
+        "n" => Some(Some(Term::Null(NullId(id)))),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chase::{ChaseConfig, ChaseMachine};
+    use crate::guard::Budget;
+
+    fn facts(p: &Program) -> Instance {
+        Instance::from_atoms(p.facts().iter().cloned())
+    }
+
+    /// Runs `program` straight through under `budget_total` applications,
+    /// and again interrupted at `cut` applications + snapshot + resume;
+    /// asserts both paths produce identical instances and stats.
+    fn assert_resume_transparent(text: &str, variant: ChaseVariant, cut: u64, total: u64) {
+        let p = Program::parse(text).unwrap();
+
+        let mut straight = ChaseMachine::new(&p, ChaseConfig::of(variant), facts(&p));
+        let straight_stop = straight.run(&Budget::applications(total));
+
+        let mut first = ChaseMachine::new(&p, ChaseConfig::of(variant), facts(&p));
+        let first_stop = first.run(&Budget::applications(cut));
+        assert!(first_stop.exhausted() || straight_stop.is_saturated());
+
+        let snap = first.snapshot();
+        // Round-trip through the text format too, so the CLI path gets the
+        // same guarantee.
+        let snap = Checkpoint::from_text(&snap.to_text().unwrap()).unwrap();
+        let mut resumed = snap.resume(&p).unwrap();
+        let resumed_stop = resumed.run(&Budget::applications(total));
+
+        assert_eq!(resumed_stop, straight_stop);
+        assert_eq!(resumed.stats(), straight.stats());
+        assert_eq!(resumed.instance().len(), straight.instance().len());
+        for (i, (_, atom)) in straight.instance().iter().enumerate() {
+            assert_eq!(
+                resumed.instance().atom(chasekit_core::AtomId::from_index(i)),
+                atom,
+                "atom #{i} diverged after resume"
+            );
+        }
+        assert_eq!(
+            resumed.approx_memory_bytes(),
+            straight.approx_memory_bytes(),
+            "memory accounting diverged after resume"
+        );
+    }
+
+    /// Paper Example 1 (diverging): interrupting and resuming the FIFO run
+    /// is invisible in the final instance.
+    #[test]
+    fn resume_is_transparent_on_paper_example_1() {
+        let text = "person(X) -> hasFather(X, Y), person(Y). person(bob).";
+        for variant in
+            [ChaseVariant::Oblivious, ChaseVariant::SemiOblivious, ChaseVariant::Restricted]
+        {
+            for cut in [1, 7, 50] {
+                assert_resume_transparent(text, variant, cut, 120);
+            }
+        }
+    }
+
+    /// Paper Example 2 (diverging path-builder): same transparency.
+    #[test]
+    fn resume_is_transparent_on_paper_example_2() {
+        let text = "p(a, b). p(X, Y) -> p(Y, Z).";
+        for variant in
+            [ChaseVariant::Oblivious, ChaseVariant::SemiOblivious, ChaseVariant::Restricted]
+        {
+            for cut in [1, 13, 60] {
+                assert_resume_transparent(text, variant, cut, 90);
+            }
+        }
+    }
+
+    /// A terminating workload: interrupt mid-run, resume, and the run still
+    /// saturates to the identical model.
+    #[test]
+    fn resume_is_transparent_on_terminating_workloads() {
+        let text = "e(a, b). e(b, c). e(c, d).
+                    e(X, Y) -> t(X, Y).
+                    e(X, Y), t(Y, Z) -> t(X, Z).";
+        assert_resume_transparent(text, ChaseVariant::SemiOblivious, 2, 100_000);
+        assert_resume_transparent(text, ChaseVariant::Restricted, 3, 100_000);
+    }
+
+    /// Random scheduling snapshots the xorshift state, so resume stays
+    /// deterministic there as well.
+    #[test]
+    fn resume_preserves_random_scheduling_state() {
+        let p = Program::parse("p(a, b). p(X, Y) -> p(Y, Z). p(X, Y) -> q(X).").unwrap();
+        let cfg = ChaseConfig::of(ChaseVariant::SemiOblivious).with_random_scheduling(42);
+
+        let mut straight = ChaseMachine::new(&p, cfg, facts(&p));
+        let _ = straight.run(&Budget::applications(80));
+
+        let mut first = ChaseMachine::new(&p, cfg, facts(&p));
+        let _ = first.run(&Budget::applications(25));
+        let snap = Checkpoint::from_text(&first.snapshot().to_text().unwrap()).unwrap();
+        let mut resumed = snap.resume(&p).unwrap();
+        let _ = resumed.run(&Budget::applications(80));
+
+        assert_eq!(resumed.stats(), straight.stats());
+        assert_eq!(resumed.instance().len(), straight.instance().len());
+        for (_, atom) in straight.instance().iter() {
+            assert!(resumed.instance().contains(atom));
+        }
+    }
+
+    #[test]
+    fn resume_under_a_different_program_is_rejected() {
+        let p = Program::parse("p(a, b). p(X, Y) -> p(Y, Z).").unwrap();
+        let other = Program::parse("p(a, b). p(X, Y) -> p(X, Z).").unwrap();
+        let mut m = ChaseMachine::new(&p, ChaseConfig::of(ChaseVariant::Oblivious), facts(&p));
+        let _ = m.run(&Budget::applications(5));
+        let snap = m.snapshot();
+        match snap.resume(&other) {
+            Err(CheckpointError::ProgramMismatch { .. }) => {}
+            other => panic!("expected ProgramMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn text_form_is_canonical_and_round_trips() {
+        let p = Program::parse("p(a, b). p(X, Y) -> p(Y, Z).").unwrap();
+        let mut m = ChaseMachine::new(&p, ChaseConfig::of(ChaseVariant::SemiOblivious), facts(&p));
+        let _ = m.run(&Budget::applications(9));
+        let text = m.snapshot().to_text().unwrap();
+        let reparsed = Checkpoint::from_text(&text).unwrap();
+        assert_eq!(reparsed.to_text().unwrap(), text);
+        assert_eq!(reparsed.pending(), m.pending());
+        assert_eq!(reparsed.atoms(), m.instance().len());
+    }
+
+    #[test]
+    fn tracked_runs_refuse_text_serialization() {
+        let p = Program::parse("p(a). p(X) -> q(X, Y).").unwrap();
+        let mut m = ChaseMachine::new(
+            &p,
+            ChaseConfig::of(ChaseVariant::SemiOblivious).with_derivation(),
+            facts(&p),
+        );
+        let _ = m.run(&Budget::default());
+        assert!(matches!(m.snapshot().to_text(), Err(CheckpointError::Unserializable(_))));
+    }
+
+    /// In-memory snapshots do carry the derivation DAG and skolem state.
+    #[test]
+    fn in_memory_snapshot_preserves_tracking_state() {
+        let p = Program::parse("person(a). person(X) -> father(X, Y), person(Y).").unwrap();
+        let cfg = ChaseConfig::of(ChaseVariant::SemiOblivious).with_derivation().with_skolem();
+
+        let mut straight = ChaseMachine::new(&p, cfg, facts(&p));
+        let _ = straight.run(&Budget::applications(20));
+
+        let mut first = ChaseMachine::new(&p, cfg, facts(&p));
+        let _ = first.run(&Budget::applications(6));
+        let mut resumed = first.snapshot().resume(&p).unwrap();
+        let _ = resumed.run(&Budget::applications(20));
+
+        assert_eq!(resumed.stats(), straight.stats());
+        assert_eq!(
+            resumed.derivation().applications().len(),
+            straight.derivation().applications().len()
+        );
+        assert_eq!(resumed.skolem_cyclic(), straight.skolem_cyclic());
+    }
+
+    #[test]
+    fn malformed_text_is_reported_with_line_context() {
+        assert!(matches!(
+            Checkpoint::from_text("not a checkpoint"),
+            Err(CheckpointError::Parse(_))
+        ));
+        let p = Program::parse("p(a, b). p(X, Y) -> p(Y, Z).").unwrap();
+        let mut m = ChaseMachine::new(&p, ChaseConfig::of(ChaseVariant::Oblivious), facts(&p));
+        let _ = m.run(&Budget::applications(3));
+        let good = m.snapshot().to_text().unwrap();
+        let truncated = &good[..good.len() / 2];
+        assert!(matches!(Checkpoint::from_text(truncated), Err(CheckpointError::Parse(_))));
+    }
+}

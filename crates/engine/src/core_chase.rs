@@ -17,7 +17,7 @@ use std::ops::ControlFlow;
 
 use chasekit_core::{exists_extension, for_each_hom, Instance, Program, Substitution};
 
-use crate::chase::Budget;
+use crate::guard::Budget;
 use crate::core_min::core_of;
 
 /// How a core-chase run ended.
@@ -119,7 +119,8 @@ pub fn core_chase(program: &Program, initial: Instance, budget: &Budget) -> Core
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::chase::{chase, ChaseOutcome};
+    use crate::chase::chase;
+    use crate::guard::StopReason;
     use crate::variant::ChaseVariant;
     use chasekit_core::{instance_hom_exists, Program};
 
@@ -143,7 +144,7 @@ mod tests {
     fn core_chase_terminates_where_fifo_restricted_diverges() {
         let p = Program::parse("r(a, b). r(X, Y) -> r(Y, Z). r(X, Y) -> r(Y, X).").unwrap();
         let fifo = chase(&p, ChaseVariant::Restricted, facts(&p), &Budget::applications(300));
-        assert_eq!(fifo.outcome, ChaseOutcome::BudgetExhausted, "FIFO diverges here");
+        assert_eq!(fifo.outcome, StopReason::Applications, "FIFO diverges here");
 
         let r = core_chase(&p, facts(&p), &Budget::default());
         assert_eq!(r.outcome, CoreChaseOutcome::Saturated);
@@ -171,7 +172,7 @@ mod tests {
         let cc = core_chase(&p, facts(&p), &Budget::default());
         let rst = chase(&p, ChaseVariant::Restricted, facts(&p), &Budget::default());
         assert_eq!(cc.outcome, CoreChaseOutcome::Saturated);
-        assert_eq!(rst.outcome, ChaseOutcome::Saturated);
+        assert_eq!(rst.outcome, StopReason::Saturated);
         assert!(instance_hom_exists(&cc.instance, &rst.instance));
         assert!(instance_hom_exists(&rst.instance, &cc.instance));
         assert!(cc.instance.len() <= rst.instance.len());

@@ -257,7 +257,8 @@ mod tests {
 
     #[test]
     fn cores_of_different_chase_variants_are_isomorphic() {
-        use crate::chase::{chase, Budget};
+        use crate::chase::chase;
+        use crate::guard::Budget;
         use crate::variant::ChaseVariant;
         use chasekit_core::Program;
         let p = Program::parse(

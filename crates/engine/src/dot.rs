@@ -54,7 +54,8 @@ pub fn derivation_to_dot(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::chase::{Budget, ChaseConfig, ChaseMachine};
+    use crate::chase::{ChaseConfig, ChaseMachine};
+    use crate::guard::Budget;
     use crate::variant::ChaseVariant;
     use chasekit_core::Program;
 

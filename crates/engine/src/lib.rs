@@ -10,29 +10,34 @@
 //!
 //! ```
 //! use chasekit_core::Program;
-//! use chasekit_engine::{chase_facts, Budget, ChaseOutcome, ChaseVariant};
+//! use chasekit_engine::{chase_facts, Budget, ChaseVariant, StopReason};
 //!
 //! // Paper, Example 2: diverges under every chase variant.
 //! let p = Program::parse("p(a, b). p(X, Y) -> p(Y, Z).").unwrap();
 //! let run = chase_facts(&p, ChaseVariant::SemiOblivious, &Budget::applications(50));
-//! assert_eq!(run.outcome, ChaseOutcome::BudgetExhausted);
+//! assert_eq!(run.outcome, StopReason::Applications);
+//! assert!(run.outcome.exhausted());
 //! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod chase;
+pub mod checkpoint;
 pub mod core_chase;
 pub mod core_min;
 pub mod derivation;
 pub mod dot;
+pub mod guard;
 pub mod query;
 pub mod variant;
 
 pub use chase::{
-    chase, chase_facts, contains_instance, is_model, Budget, ChaseConfig, ChaseMachine,
-    ChaseOutcome, ChaseResult, ChaseStats, Scheduling, StepEvent,
+    chase, chase_facts, contains_instance, is_model, ChaseConfig, ChaseMachine,
+    ChaseResult, ChaseStats, Scheduling, StepEvent,
 };
+pub use checkpoint::{Checkpoint, CheckpointError};
+pub use guard::{Budget, CancelToken, StopReason};
 pub use core_chase::{core_chase, CoreChaseOutcome, CoreChaseResult};
 pub use core_min::{core_of, instances_isomorphic, MAX_CORE_NULLS};
 pub use derivation::{Application, DerivationDag};

@@ -16,7 +16,8 @@ use chasekit_core::{
     for_each_hom, Atom, CoreError, FxHashSet, Instance, Program, Term, VarId,
 };
 
-use crate::chase::{chase, Budget, ChaseOutcome, ChaseResult};
+use crate::chase::{chase, ChaseResult};
+use crate::guard::{Budget, StopReason};
 use crate::variant::ChaseVariant;
 
 /// A conjunctive query: a conjunction of atoms over query variables, with a
@@ -144,7 +145,7 @@ pub fn certain_answers(
 ) -> Result<Vec<Vec<Term>>, QueryError> {
     let ChaseResult { outcome, instance, .. } =
         chase(program, ChaseVariant::Restricted, database, budget);
-    if outcome != ChaseOutcome::Saturated {
+    if outcome != StopReason::Saturated {
         return Err(QueryError::ChaseDidNotTerminate);
     }
     let mut answers: Vec<Vec<Term>> = query
@@ -165,7 +166,7 @@ pub fn certainly_holds(
 ) -> Result<bool, QueryError> {
     let ChaseResult { outcome, instance, .. } =
         chase(program, ChaseVariant::Restricted, database, budget);
-    if outcome != ChaseOutcome::Saturated {
+    if outcome != StopReason::Saturated {
         return Err(QueryError::ChaseDidNotTerminate);
     }
     Ok(query.holds_in(&instance))

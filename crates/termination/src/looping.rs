@@ -65,10 +65,10 @@ impl PropositionalProgram {
         loop {
             let mut changed = false;
             for (body, head) in &self.rules {
-                if true_atoms.iter().any(|a| *a == head.as_str()) {
+                if true_atoms.contains(&head.as_str()) {
                     continue;
                 }
-                if body.iter().all(|b| true_atoms.iter().any(|a| *a == b.as_str())) {
+                if body.iter().all(|b| true_atoms.contains(&b.as_str())) {
                     true_atoms.push(head);
                     changed = true;
                 }
@@ -77,7 +77,7 @@ impl PropositionalProgram {
                 break;
             }
         }
-        true_atoms.iter().any(|a| *a == self.goal.as_str())
+        true_atoms.contains(&self.goal.as_str())
     }
 
     /// Applies the looping operator, producing a guarded TGD set whose

@@ -306,10 +306,8 @@ fn head_matches_start(
                 }
             }
             Term::Var(v) => {
-                if rule.is_universal(v) {
-                    if binding[&v] != start.labels[j] {
-                        return false;
-                    }
+                if rule.is_universal(v) && binding[&v] != start.labels[j] {
+                    return false;
                 }
                 // Existential: wildcard, matches anything.
             }
@@ -343,7 +341,7 @@ pub fn restricted_verdict(program: &Program) -> RestrictedVerdict {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use chasekit_engine::{chase, Budget, ChaseOutcome, ChaseVariant};
+    use chasekit_engine::{chase, Budget, StopReason, ChaseVariant};
 
     fn verdict(src: &str) -> RestrictedVerdict {
         restricted_verdict(&Program::parse(src).unwrap())
@@ -421,7 +419,7 @@ mod tests {
             match v.terminates {
                 Some(true) => assert_eq!(
                     run.outcome,
-                    ChaseOutcome::Saturated,
+                    StopReason::Saturated,
                     "verdict says terminates but engine kept going on {rules}"
                 ),
                 Some(false) => {
@@ -431,7 +429,7 @@ mod tests {
                     // the diverging cases we constructed to diverge.
                     assert_eq!(
                         run.outcome,
-                        ChaseOutcome::BudgetExhausted,
+                        StopReason::Applications,
                         "verdict says diverges but engine saturated on {rules}"
                     );
                 }

@@ -38,7 +38,7 @@ fn main() {
 
     // Materialize the universal solution.
     let solution = chase_facts(&mapping, ChaseVariant::Restricted, &Budget::default());
-    assert_eq!(solution.outcome, ChaseOutcome::Saturated);
+    assert_eq!(solution.outcome, StopReason::Saturated);
     assert!(is_model(&mapping, &solution.instance));
     println!("\nUniversal solution ({} atoms):", solution.instance.len());
     print!("{}", instance_to_string(&solution.instance, &mapping.vocab));
@@ -46,7 +46,7 @@ fn main() {
     // Universality in action: the semi-oblivious chase computes a
     // (possibly larger) solution; both are homomorphically equivalent.
     let bigger = chase_facts(&mapping, ChaseVariant::SemiOblivious, &Budget::default());
-    assert_eq!(bigger.outcome, ChaseOutcome::Saturated);
+    assert_eq!(bigger.outcome, StopReason::Saturated);
     println!(
         "\nRestricted solution: {} atoms; semi-oblivious solution: {} atoms",
         solution.instance.len(),

@@ -36,7 +36,7 @@ fn main() {
     assert_eq!(decision.terminates, Some(true));
 
     let run = chase_facts(&safe, ChaseVariant::SemiOblivious, &Budget::default());
-    assert_eq!(run.outcome, ChaseOutcome::Saturated);
+    assert_eq!(run.outcome, StopReason::Saturated);
     assert!(is_model(&safe, &run.instance));
     println!("\nUniversal model ({} atoms):", run.instance.len());
     print!("{}", instance_to_string(&run.instance, &safe.vocab));

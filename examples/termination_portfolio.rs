@@ -27,9 +27,12 @@ fn verdict(v: Option<bool>) -> &'static str {
 }
 
 fn main() {
+    let header: [&str; 9] =
+        ["rule set", "class", "WA ", "RA ", "JA ", "aGRD", "CT-so", "CT-o", "portfolio method"];
     println!(
         "{:<22} {:<13} | {} {} {} {} | {:<11} {:<11} | {:?}",
-        "rule set", "class", "WA ", "RA ", "JA ", "aGRD", "CT-so", "CT-o", "portfolio method"
+        header[0], header[1], header[2], header[3], header[4], header[5], header[6], header[7],
+        header[8]
     );
     println!("{}", "-".repeat(110));
 

@@ -6,28 +6,45 @@
 //! chasekit decide    <rules-file> [--variant o|so] [--fuel N]
 //! chasekit explain   <rules-file> [--variant o|so]
 //! chasekit chase     <rules-file> [--variant o|so|restricted] [--steps N] [--dot FILE]
+//!                    [--timeout-ms N] [--max-atoms-mem BYTES] [--checkpoint FILE]
 //! chasekit critical  <rules-file> [--standard]
 //! ```
 //!
 //! The rules file uses the textual format described in the README; facts in
 //! the file seed the `chase` subcommand (the critical instance is used when
 //! no facts are present).
+//!
+//! ## Exit codes
+//!
+//! `chase` maps its [`StopReason`] to a distinct exit code so scripts can
+//! tell *why* a run stopped: 0 saturated, 10 application budget, 11 atom
+//! budget, 12 wall-clock deadline, 13 memory ceiling, 14 cancelled.
+//! Argument errors exit 2; file/parse errors exit 1.
 
 use std::process::ExitCode;
 
 use chasekit::core::display::{instance_to_string, rule_to_string};
+use chasekit::engine::{Checkpoint, StopReason};
 use chasekit::prelude::*;
 
-fn usage() -> ExitCode {
-    eprintln!(
-        "usage: chasekit <classify|conditions|decide|explain|chase|critical> <rules-file> [options]
+const USAGE: &str = "usage: chasekit <classify|conditions|decide|explain|chase|critical> <rules-file> [options]
 options:
   --variant o|so|restricted   chase variant (default: so)
   --steps N                   chase step budget (default: 10000)
   --fuel N                    decision fuel (default: 50000)
   --standard                  use the standard-database critical instance
-  --dot FILE                  (chase) write the derivation DAG as Graphviz"
-    );
+  --dot FILE                  (chase) write the derivation DAG as Graphviz
+  --timeout-ms N              (chase) wall-clock deadline in milliseconds
+  --max-atoms-mem BYTES       (chase) approximate memory ceiling in bytes
+  --checkpoint FILE           (chase) resume from FILE if present; write the
+                              run state back there when a guardrail stops it
+exit codes (chase): 0 saturated, 10 applications, 11 atoms, 12 wall-clock,
+                    13 memory, 14 cancelled";
+
+/// A named argument error: says exactly which argument was bad and why.
+fn arg_error(msg: String) -> ExitCode {
+    eprintln!("error: {msg}");
+    eprintln!("{USAGE}");
     ExitCode::from(2)
 }
 
@@ -39,12 +56,22 @@ struct Args {
     fuel: u64,
     standard: bool,
     dot: Option<String>,
+    timeout_ms: Option<u64>,
+    max_mem: Option<usize>,
+    checkpoint: Option<String>,
 }
 
-fn parse_args() -> Option<Args> {
+fn parse_args() -> Result<Args, String> {
     let mut argv = std::env::args().skip(1);
-    let command = argv.next()?;
-    let file = argv.next()?;
+    let command = argv.next().ok_or("missing <command> argument")?;
+    let known = ["classify", "conditions", "decide", "explain", "chase", "critical"];
+    if !known.contains(&command.as_str()) {
+        return Err(format!(
+            "unknown command `{command}` (expected one of: {})",
+            known.join(", ")
+        ));
+    }
+    let file = argv.next().ok_or_else(|| format!("`{command}` needs a <rules-file> argument"))?;
     let mut out = Args {
         command,
         file,
@@ -53,36 +80,62 @@ fn parse_args() -> Option<Args> {
         fuel: 50_000,
         standard: false,
         dot: None,
+        timeout_ms: None,
+        max_mem: None,
+        checkpoint: None,
     };
+    // A flag's value, or a named error if the command line ends first.
+    fn value(argv: &mut impl Iterator<Item = String>, flag: &str) -> Result<String, String> {
+        argv.next().ok_or_else(|| format!("`{flag}` requires a value"))
+    }
+    // A flag's numeric value, naming the flag and the offending text.
+    fn number<T: std::str::FromStr>(
+        argv: &mut impl Iterator<Item = String>,
+        flag: &str,
+    ) -> Result<T, String> {
+        let raw = value(argv, flag)?;
+        raw.parse()
+            .map_err(|_| format!("`{flag}` expects a non-negative integer, got `{raw}`"))
+    }
     while let Some(flag) = argv.next() {
         match flag.as_str() {
             "--variant" => {
-                out.variant = match argv.next()?.as_str() {
+                let raw = value(&mut argv, "--variant")?;
+                out.variant = match raw.as_str() {
                     "o" | "oblivious" => ChaseVariant::Oblivious,
                     "so" | "semi-oblivious" => ChaseVariant::SemiOblivious,
                     "restricted" | "standard" => ChaseVariant::Restricted,
                     other => {
-                        eprintln!("unknown variant `{other}`");
-                        return None;
+                        return Err(format!(
+                            "`--variant` expects o|so|restricted, got `{other}`"
+                        ))
                     }
                 }
             }
-            "--steps" => out.steps = argv.next()?.parse().ok()?,
-            "--fuel" => out.fuel = argv.next()?.parse().ok()?,
+            "--steps" => out.steps = number(&mut argv, "--steps")?,
+            "--fuel" => out.fuel = number(&mut argv, "--fuel")?,
             "--standard" => out.standard = true,
-            "--dot" => out.dot = Some(argv.next()?),
-            other => {
-                eprintln!("unknown flag `{other}`");
-                return None;
-            }
+            "--dot" => out.dot = Some(value(&mut argv, "--dot")?),
+            "--timeout-ms" => out.timeout_ms = Some(number(&mut argv, "--timeout-ms")?),
+            "--max-atoms-mem" => out.max_mem = Some(number(&mut argv, "--max-atoms-mem")?),
+            "--checkpoint" => out.checkpoint = Some(value(&mut argv, "--checkpoint")?),
+            other => return Err(format!("unknown flag `{other}`")),
         }
     }
-    Some(out)
+    if out.checkpoint.is_some() && out.dot.is_some() {
+        return Err(
+            "`--checkpoint` cannot be combined with `--dot` \
+             (derivation tracking is not checkpointable)"
+                .to_string(),
+        );
+    }
+    Ok(out)
 }
 
 fn main() -> ExitCode {
-    let Some(args) = parse_args() else {
-        return usage();
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => return arg_error(msg),
     };
     let text = match std::fs::read_to_string(&args.file) {
         Ok(t) => t,
@@ -143,7 +196,7 @@ fn main() -> ExitCode {
                 println!("restricted chase on all databases: {:?} via {:?}", v.terminates, v.method);
                 return ExitCode::SUCCESS;
             }
-            let budget = Budget { max_applications: args.fuel, max_atoms: usize::MAX };
+            let budget = Budget::applications(args.fuel);
             let d = decide(&program, args.variant, &budget);
             println!("class:  {}", d.class);
             println!("method: {:?}", d.method);
@@ -156,26 +209,100 @@ fn main() -> ExitCode {
         }
         "chase" => {
             let mut program = program.clone();
-            let initial = if program.facts().is_empty() {
-                println!("(no facts in file: chasing the critical instance)");
-                CriticalInstance::build(&mut program).instance
-            } else {
-                Instance::from_atoms(program.facts().iter().cloned())
-            };
             use chasekit::engine::{ChaseConfig, ChaseMachine};
             let mut cfg = ChaseConfig::of(args.variant);
             if args.dot.is_some() {
                 cfg = cfg.with_derivation();
             }
-            let mut machine = ChaseMachine::new(&program, cfg, initial);
-            let outcome = machine.run(&Budget::applications(args.steps));
+
+            // Resume from a checkpoint file when one exists; otherwise start
+            // fresh (from the file's facts or the critical instance).
+            let resumed = match &args.checkpoint {
+                Some(path) if std::path::Path::new(path).exists() => {
+                    let text = match std::fs::read_to_string(path) {
+                        Ok(t) => t,
+                        Err(e) => {
+                            eprintln!("cannot read checkpoint {path}: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    };
+                    match Checkpoint::from_text(&text) {
+                        Ok(snap) => Some(snap),
+                        Err(e) => {
+                            eprintln!("cannot load checkpoint {path}: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+                _ => None,
+            };
+
+            let mut machine = match &resumed {
+                Some(snap) => match snap.resume(&program) {
+                    Ok(m) => {
+                        println!(
+                            "(resuming from checkpoint: {} applications, {} atoms, {} pending)",
+                            snap.stats().applications,
+                            snap.atoms(),
+                            snap.pending()
+                        );
+                        m
+                    }
+                    Err(e) => {
+                        eprintln!("cannot resume checkpoint: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                },
+                None => {
+                    let initial = if program.facts().is_empty() {
+                        println!("(no facts in file: chasing the critical instance)");
+                        CriticalInstance::build(&mut program).instance
+                    } else {
+                        Instance::from_atoms(program.facts().iter().cloned())
+                    };
+                    ChaseMachine::new(&program, cfg, initial)
+                }
+            };
+
+            let mut budget = Budget::applications(args.steps);
+            if let Some(ms) = args.timeout_ms {
+                budget = budget.with_timeout_ms(ms);
+            }
+            if let Some(bytes) = args.max_mem {
+                budget = budget.with_memory(bytes);
+            }
+            let outcome = machine.run(&budget);
             println!(
-                "outcome: {:?} after {} applications, {} atoms, {} nulls",
+                "outcome: {} after {} applications, {} atoms, {} nulls (~{} KiB)",
                 outcome,
                 machine.stats().applications,
                 machine.instance().len(),
-                machine.stats().nulls_minted
+                machine.stats().nulls_minted,
+                machine.approx_memory_bytes() / 1024
             );
+
+            if let Some(path) = &args.checkpoint {
+                if outcome.exhausted() {
+                    let text = match machine.snapshot().to_text() {
+                        Ok(t) => t,
+                        Err(e) => {
+                            eprintln!("cannot checkpoint run: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    };
+                    if let Err(e) = std::fs::write(path, text) {
+                        eprintln!("cannot write checkpoint {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    println!("checkpoint written to {path} (rerun to continue)");
+                } else if std::path::Path::new(path).exists() {
+                    // The run finished: a stale checkpoint would silently
+                    // replay the old state on the next invocation.
+                    let _ = std::fs::remove_file(path);
+                    println!("run saturated: checkpoint {path} removed");
+                }
+            }
+
             if let Some(path) = &args.dot {
                 let dot = chasekit::engine::derivation_to_dot(
                     machine.instance(),
@@ -189,7 +316,14 @@ fn main() -> ExitCode {
                 println!("derivation DAG written to {path}");
             }
             print!("{}", instance_to_string(machine.instance(), &program.vocab));
-            ExitCode::SUCCESS
+            match outcome {
+                StopReason::Saturated => ExitCode::SUCCESS,
+                StopReason::Applications => ExitCode::from(10),
+                StopReason::Atoms => ExitCode::from(11),
+                StopReason::WallClock => ExitCode::from(12),
+                StopReason::Memory => ExitCode::from(13),
+                StopReason::Cancelled => ExitCode::from(14),
+            }
         }
         "explain" => {
             use chasekit::core::display::atom_to_string;
@@ -290,6 +424,6 @@ fn main() -> ExitCode {
             print!("{}", instance_to_string(&crit.instance, &p.vocab));
             ExitCode::SUCCESS
         }
-        _ => usage(),
+        other => arg_error(format!("unknown command `{other}`")),
     }
 }

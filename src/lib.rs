@@ -38,7 +38,7 @@
 //!
 //! // The chase runs forever on this rule set...
 //! let run = chase_facts(&program, ChaseVariant::SemiOblivious, &Budget::applications(100));
-//! assert_eq!(run.outcome, ChaseOutcome::BudgetExhausted);
+//! assert_eq!(run.outcome, StopReason::Applications);
 //!
 //! // ...and the exact decision procedure proves it diverges on *every*
 //! // database (the rule set is simple linear, so this is Theorem 1).
@@ -64,7 +64,8 @@ pub mod prelude {
         Atom, CriticalInstance, Instance, Program, RuleBuilder, RuleClass, Term, Tgd,
     };
     pub use chasekit_engine::{
-        chase, chase_facts, is_model, Budget, ChaseMachine, ChaseOutcome, ChaseVariant,
+        chase, chase_facts, is_model, Budget, CancelToken, ChaseMachine, ChaseVariant,
+        Checkpoint, StopReason,
     };
     pub use chasekit_termination::{
         decide, decide_guarded, decide_linear, is_mfa, restricted_verdict, Decision,

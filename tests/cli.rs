@@ -61,7 +61,7 @@ fn chase_prints_the_result_instance() {
     let path = write_rules("chase.rules", "e(a, b). e(X, Y) -> t(Y, X).");
     let (stdout, _, code) = run(&["chase", path.to_str().unwrap()]);
     assert_eq!(code, Some(0));
-    assert!(stdout.contains("Saturated"));
+    assert!(stdout.contains("saturated"));
     assert!(stdout.contains("t(b, a)"));
 }
 
@@ -159,4 +159,178 @@ fn chase_writes_a_dot_file() {
     let dot = std::fs::read_to_string(&dot_path).unwrap();
     assert!(dot.starts_with("digraph chase {"));
     assert!(dot.contains("q("));
+}
+
+#[test]
+fn bad_variant_is_named_in_the_error() {
+    let path = write_rules("bad-variant.rules", "p(X) -> q(X).");
+    let (_, stderr, code) =
+        run(&["chase", path.to_str().unwrap(), "--variant", "sideways"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("--variant"), "{stderr}");
+    assert!(stderr.contains("sideways"), "{stderr}");
+}
+
+#[test]
+fn non_numeric_steps_is_named_in_the_error() {
+    let path = write_rules("bad-steps.rules", "p(X) -> q(X).");
+    let (_, stderr, code) = run(&["chase", path.to_str().unwrap(), "--steps", "many"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("--steps"), "{stderr}");
+    assert!(stderr.contains("many"), "{stderr}");
+}
+
+#[test]
+fn flag_missing_its_value_is_named_in_the_error() {
+    let path = write_rules("no-value.rules", "p(X) -> q(X).");
+    let (_, stderr, code) = run(&["chase", path.to_str().unwrap(), "--timeout-ms"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("--timeout-ms"), "{stderr}");
+    assert!(stderr.contains("requires a value"), "{stderr}");
+}
+
+#[test]
+fn unknown_command_is_named_in_the_error() {
+    let (_, stderr, code) = run(&["frobnicate", "whatever.rules"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("frobnicate"), "{stderr}");
+}
+
+#[test]
+fn exhausted_step_budget_exits_10() {
+    let path = write_rules("diverge.rules", "p(a, b). p(X, Y) -> p(Y, Z).");
+    let (stdout, _, code) = run(&["chase", path.to_str().unwrap(), "--steps", "25"]);
+    assert_eq!(code, Some(10), "{stdout}");
+    assert!(stdout.contains("applications"), "{stdout}");
+}
+
+#[test]
+fn wall_clock_deadline_exits_12() {
+    let path = write_rules("timeout.rules", "p(a, b). p(X, Y) -> p(Y, Z).");
+    let (stdout, _, code) = run(&[
+        "chase",
+        path.to_str().unwrap(),
+        "--steps",
+        "100000000",
+        "--timeout-ms",
+        "30",
+    ]);
+    assert_eq!(code, Some(12), "{stdout}");
+    assert!(stdout.contains("wall-clock"), "{stdout}");
+}
+
+#[test]
+fn memory_ceiling_exits_13() {
+    let path = write_rules("mem.rules", "p(a, b). p(X, Y) -> p(Y, Z).");
+    let (stdout, _, code) = run(&[
+        "chase",
+        path.to_str().unwrap(),
+        "--steps",
+        "100000000",
+        "--max-atoms-mem",
+        "20000",
+    ]);
+    assert_eq!(code, Some(13), "{stdout}");
+    assert!(stdout.contains("memory"), "{stdout}");
+}
+
+#[test]
+fn checkpointed_run_resumes_and_matches_a_straight_run() {
+    let rules = "p(a, b). p(X, Y) -> p(Y, Z).";
+    let path = write_rules("ckpt.rules", rules);
+    let ckpt = std::env::temp_dir().join("chasekit-cli-tests").join("run.ckpt");
+    let _ = std::fs::remove_file(&ckpt);
+
+    // Interrupted run: 30 steps, parked in the checkpoint.
+    let (stdout, _, code) = run(&[
+        "chase",
+        path.to_str().unwrap(),
+        "--steps",
+        "30",
+        "--checkpoint",
+        ckpt.to_str().unwrap(),
+    ]);
+    assert_eq!(code, Some(10), "{stdout}");
+    assert!(stdout.contains("checkpoint written"), "{stdout}");
+    assert!(ckpt.exists());
+
+    // Second leg: another 30 steps on top of the checkpoint = 60 total.
+    let (resumed_out, _, code) = run(&[
+        "chase",
+        path.to_str().unwrap(),
+        "--steps",
+        "60",
+        "--checkpoint",
+        ckpt.to_str().unwrap(),
+    ]);
+    assert_eq!(code, Some(10), "{resumed_out}");
+    assert!(resumed_out.contains("resuming from checkpoint"), "{resumed_out}");
+
+    // Straight-through run of 60 steps, no checkpointing.
+    let (straight_out, _, _) = run(&["chase", path.to_str().unwrap(), "--steps", "60"]);
+
+    // Identical instances: compare the printed atom lines.
+    let atoms = |s: &str| -> Vec<String> {
+        s.lines().filter(|l| l.starts_with("p(")).map(|l| l.to_string()).collect()
+    };
+    assert_eq!(atoms(&resumed_out), atoms(&straight_out));
+    let _ = std::fs::remove_file(&ckpt);
+}
+
+#[test]
+fn saturating_run_removes_its_checkpoint() {
+    let path = write_rules("ckpt-sat.rules", "e(a, b). e(X, Y) -> t(Y, X).");
+    let ckpt = std::env::temp_dir().join("chasekit-cli-tests").join("sat.ckpt");
+    let _ = std::fs::remove_file(&ckpt);
+    let (stdout, _, code) = run(&[
+        "chase",
+        path.to_str().unwrap(),
+        "--checkpoint",
+        ckpt.to_str().unwrap(),
+    ]);
+    assert_eq!(code, Some(0), "{stdout}");
+    assert!(!ckpt.exists(), "saturated run must not leave a checkpoint behind");
+}
+
+#[test]
+fn checkpoint_with_dot_is_rejected_up_front() {
+    let path = write_rules("ckpt-dot.rules", "p(X) -> q(X).");
+    let (_, stderr, code) = run(&[
+        "chase",
+        path.to_str().unwrap(),
+        "--checkpoint",
+        "/tmp/x.ckpt",
+        "--dot",
+        "/tmp/x.dot",
+    ]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("--checkpoint"), "{stderr}");
+}
+
+#[test]
+fn checkpoint_from_a_different_program_is_refused() {
+    let rules_a = write_rules("ckpt-a.rules", "p(a, b). p(X, Y) -> p(Y, Z).");
+    let rules_b = write_rules("ckpt-b.rules", "p(a, b). p(X, Y) -> p(X, Z).");
+    let ckpt = std::env::temp_dir().join("chasekit-cli-tests").join("mismatch.ckpt");
+    let _ = std::fs::remove_file(&ckpt);
+    let (_, _, code) = run(&[
+        "chase",
+        rules_a.to_str().unwrap(),
+        "--steps",
+        "10",
+        "--checkpoint",
+        ckpt.to_str().unwrap(),
+    ]);
+    assert_eq!(code, Some(10));
+    let (_, stderr, code) = run(&[
+        "chase",
+        rules_b.to_str().unwrap(),
+        "--steps",
+        "10",
+        "--checkpoint",
+        ckpt.to_str().unwrap(),
+    ]);
+    assert_eq!(code, Some(1), "{stderr}");
+    assert!(stderr.contains("different program"), "{stderr}");
+    let _ = std::fs::remove_file(&ckpt);
 }

@@ -81,17 +81,17 @@ fn general_pumping_agrees_with_long_chase_runs() {
             &p2,
             ChaseVariant::SemiOblivious,
             crit.instance,
-            &Budget { max_applications: 1_800, max_atoms: 20_000 },
+            &Budget { max_applications: 1_800, max_atoms: 20_000, ..Budget::unlimited() },
         );
         match claim {
             true => assert_eq!(
                 run.outcome,
-                ChaseOutcome::Saturated,
+                StopReason::Saturated,
                 "seed {seed}: claimed terminating but chase kept going"
             ),
             false => assert_eq!(
                 run.outcome,
-                ChaseOutcome::BudgetExhausted,
+                StopReason::Applications,
                 "seed {seed}: claimed diverging but chase saturated"
             ),
         }
@@ -133,9 +133,9 @@ fn restricted_verdicts_on_corpus_are_sound() {
                 &p,
                 ChaseVariant::Restricted,
                 crit.instance,
-                &Budget { max_applications: 5_000, max_atoms: 50_000 },
+                &Budget { max_applications: 5_000, max_atoms: 50_000, ..Budget::unlimited() },
             );
-            assert_eq!(run.outcome, ChaseOutcome::Saturated, "{}", lp.name);
+            assert_eq!(run.outcome, StopReason::Saturated, "{}", lp.name);
         }
     }
 }

@@ -15,7 +15,7 @@ fn example1_first_steps_match_the_paper() {
     // hasFather(z1,z2), person(z2).
     assert_eq!(run.instance.with_pred(person).len(), 3);
     assert_eq!(run.instance.with_pred(has_father).len(), 2);
-    assert_eq!(run.outcome, ChaseOutcome::BudgetExhausted);
+    assert_eq!(run.outcome, StopReason::Applications);
 }
 
 /// §1: "the chase procedure may run forever, even for extremely simple
@@ -157,11 +157,11 @@ fn future_work_restricted_chase() {
     // From the self-loop the restricted chase stops at once.
     let looped = Program::parse("p(a, a). p(X, Y) -> p(Y, Z).").unwrap();
     let run = chase_facts(&looped, ChaseVariant::Restricted, &Budget::default());
-    assert_eq!(run.outcome, ChaseOutcome::Saturated);
+    assert_eq!(run.outcome, StopReason::Saturated);
     assert_eq!(run.instance.len(), 1);
 
     // From the path it runs away.
     let path = Program::parse("p(a, b). p(X, Y) -> p(Y, Z).").unwrap();
     let run = chase_facts(&path, ChaseVariant::Restricted, &Budget::applications(50));
-    assert_eq!(run.outcome, ChaseOutcome::BudgetExhausted);
+    assert_eq!(run.outcome, StopReason::Applications);
 }

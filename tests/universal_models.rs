@@ -31,7 +31,7 @@ fn chase_results_are_models_containing_the_input() {
             ChaseVariant::Restricted,
         ] {
             let run = chase(&p, variant, db.clone(), &Budget::default());
-            assert_eq!(run.outcome, ChaseOutcome::Saturated, "sample {i} {variant}");
+            assert_eq!(run.outcome, StopReason::Saturated, "sample {i} {variant}");
             assert!(is_model(&p, &run.instance), "sample {i} {variant}: not a model");
             assert!(
                 contains_instance(&run.instance, &db),
@@ -49,7 +49,7 @@ fn variant_results_are_homomorphically_equivalent() {
         let db = random_database(&mut p, &DbConfig { facts: 8, constants: 3 }, 900 + i as u64);
         let so = chase(&p, ChaseVariant::SemiOblivious, db.clone(), &Budget::default());
         let rst = chase(&p, ChaseVariant::Restricted, db, &Budget::default());
-        if so.outcome != ChaseOutcome::Saturated || rst.outcome != ChaseOutcome::Saturated {
+        if so.outcome != StopReason::Saturated || rst.outcome != StopReason::Saturated {
             continue; // termination is per-database here; skip blowups
         }
         assert!(
@@ -65,7 +65,7 @@ fn restricted_result_is_no_larger_than_semi_oblivious() {
         let db = random_database(&mut p, &DbConfig { facts: 8, constants: 3 }, 1_800 + i as u64);
         let so = chase(&p, ChaseVariant::SemiOblivious, db.clone(), &Budget::default());
         let rst = chase(&p, ChaseVariant::Restricted, db, &Budget::default());
-        if so.outcome != ChaseOutcome::Saturated || rst.outcome != ChaseOutcome::Saturated {
+        if so.outcome != StopReason::Saturated || rst.outcome != StopReason::Saturated {
             continue;
         }
         assert!(
@@ -87,8 +87,8 @@ fn oblivious_result_embeds_the_semi_oblivious_result() {
     let db = Instance::from_atoms(p.facts().iter().cloned());
     let o = chase(&p, ChaseVariant::Oblivious, db.clone(), &Budget::default());
     let so = chase(&p, ChaseVariant::SemiOblivious, db, &Budget::default());
-    assert_eq!(o.outcome, ChaseOutcome::Saturated);
-    assert_eq!(so.outcome, ChaseOutcome::Saturated);
+    assert_eq!(o.outcome, StopReason::Saturated);
+    assert_eq!(so.outcome, StopReason::Saturated);
     assert!(instance_hom_exists(&so.instance, &o.instance));
     assert!(instance_hom_exists(&o.instance, &so.instance));
 }
@@ -98,7 +98,7 @@ fn universal_model_embeds_into_handcrafted_models() {
     // Chase result embeds into any model we construct by hand.
     let p = Program::parse("emp(a). emp(X) -> dept(X, D).").unwrap();
     let run = chase_facts(&p, ChaseVariant::Restricted, &Budget::default());
-    assert_eq!(run.outcome, ChaseOutcome::Saturated);
+    assert_eq!(run.outcome, StopReason::Saturated);
 
     // Handcrafted model: emp(a), dept(a, hq).
     let mut handmade = p.clone();

