@@ -1,0 +1,112 @@
+//! Parallel-round chase scaling on the E4 guarded family.
+//!
+//! Chases a random guarded population (the E4 generator dials) on critical
+//! instances at 1, 2, 4, and 8 worker threads, checks that every threaded
+//! run is bit-identical to the sequential oracle, and records wall-clock
+//! medians plus the t4 speedup in `BENCH_parallel_chase.json` at the repo
+//! root. The host core count is recorded alongside the numbers: scaling is
+//! physically bounded by it, so a single-core CI box honestly reports
+//! speedup ≈ 1 while the same file shows ≥2× on multi-core hardware.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use chasekit_core::{CriticalInstance, Program};
+use chasekit_datagen::{random_guarded, RandomConfig};
+use chasekit_engine::{Budget, ChaseConfig, ChaseMachine, ChaseVariant};
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// The E4 population dials, biased toward wide guards so trigger discovery
+/// (the parallel phase) dominates the round time.
+fn population() -> Vec<Program> {
+    let cfg = RandomConfig { predicates: 4, max_arity: 3, rules: 4, ..Default::default() };
+    (0..12)
+        .map(|seed| {
+            let mut p = random_guarded(&cfg, 90_000 + seed);
+            // Freeze the critical-instance constant into the program now so
+            // every timed run chases the identical input.
+            let _ = CriticalInstance::build(&mut p);
+            p
+        })
+        .collect()
+}
+
+fn budget() -> Budget {
+    Budget { max_applications: 1_500, max_atoms: 30_000, ..Budget::unlimited() }
+}
+
+/// One full chase of `program` at `threads`; returns (applications, atoms)
+/// as the identity fingerprint.
+fn chase_once(program: &Program, threads: usize) -> (u64, usize) {
+    let mut p = program.clone();
+    let initial = CriticalInstance::build(&mut p).instance;
+    let mut m = ChaseMachine::new(&p, ChaseConfig::of(ChaseVariant::SemiOblivious), initial);
+    let _ = m.run_parallel(&budget(), threads);
+    (m.stats().applications, m.instance().len())
+}
+
+/// Chases the whole population once; returns total wall-clock microseconds.
+fn sweep_us(programs: &[Program], threads: usize) -> u64 {
+    let start = Instant::now();
+    for p in programs {
+        black_box(chase_once(p, threads));
+    }
+    start.elapsed().as_micros() as u64
+}
+
+fn bench_parallel_chase(c: &mut Criterion) {
+    let programs = population();
+
+    // Bit-identity sanity before timing anything: every thread count must
+    // land on the identical (applications, atoms) fingerprint.
+    let oracle: Vec<(u64, usize)> = programs.iter().map(|p| chase_once(p, 1)).collect();
+    for &threads in &THREADS[1..] {
+        for (p, expect) in programs.iter().zip(&oracle) {
+            assert_eq!(&chase_once(p, threads), expect, "diverged at {threads} threads");
+        }
+    }
+
+    let mut group = c.benchmark_group("parallel_chase/e4_guarded");
+    group.sample_size(10);
+    for &threads in &THREADS {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| b.iter(|| sweep_us(&programs, threads)),
+        );
+    }
+    group.finish();
+
+    // Honest medians for the JSON record (criterion's stub reports its own
+    // numbers; these are measured independently so the file stands alone).
+    let median = |threads: usize| -> u64 {
+        let mut runs: Vec<u64> = (0..5).map(|_| sweep_us(&programs, threads)).collect();
+        runs.sort_unstable();
+        runs[runs.len() / 2]
+    };
+    let medians: Vec<(usize, u64)> = THREADS.iter().map(|&t| (t, median(t))).collect();
+    let t1 = medians[0].1.max(1) as f64;
+    let speedup_t4 =
+        t1 / medians.iter().find(|(t, _)| *t == 4).map(|&(_, us)| us.max(1)).unwrap() as f64;
+
+    let host_cpus =
+        std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
+    let threads_json: Vec<String> = medians
+        .iter()
+        .map(|(t, us)| format!("    {{\"threads\": {t}, \"median_us\": {us}}}"))
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"parallel_chase\",\n  \"workload\": \"e4-guarded critical-instance chase, 12 seeds, semi-oblivious\",\n  \"budget\": {{\"max_applications\": 1500, \"max_atoms\": 30000}},\n  \"host_cpus\": {host_cpus},\n  \"bit_identical_across_threads\": true,\n  \"note\": \"speedup is bounded by host_cpus; on a single-core host the sweep measures per-round fan-out overhead only, so speedup < 1 there is expected\",\n  \"sweeps\": [\n{}\n  ],\n  \"speedup_t4_vs_t1\": {speedup_t4:.3}\n}}\n",
+        threads_json.join(",\n")
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_parallel_chase.json");
+    std::fs::write(out, &json).expect("write BENCH_parallel_chase.json");
+    eprintln!("parallel_chase: host_cpus = {host_cpus}, speedup(t4) = {speedup_t4:.3}");
+    eprintln!("parallel_chase: wrote {out}");
+}
+
+criterion_group!(benches, bench_parallel_chase);
+criterion_main!(benches);

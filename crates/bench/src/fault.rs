@@ -158,6 +158,64 @@ mod tests {
         }
     }
 
+    /// The acceptance scenario again with the chase's own threaded pool
+    /// *nested inside* each seed's work: every seed runs a parallel-round
+    /// chase, so the experiment pool's workers spawn scoped discovery
+    /// threads of their own. A panicking seed must still cost exactly
+    /// itself, and every survivor's parallel run must stay bit-identical
+    /// to the fault-free sequential chase of the same seed.
+    #[test]
+    fn injected_faults_in_nested_parallel_chases_cost_exactly_their_own_seeds() {
+        use chasekit_core::CriticalInstance;
+        use chasekit_datagen::{random_guarded, RandomConfig};
+        use chasekit_engine::{Budget, ChaseConfig, ChaseMachine, ChaseVariant};
+
+        const SEEDS: u64 = 200;
+        let plan = FaultPlan::new(0xBEEF, 0.05);
+        let victims = plan.victims(SEEDS);
+        assert!(!victims.is_empty(), "plan must select at least one victim");
+
+        let cfg = RandomConfig::default();
+        let budget = Budget::applications(40).with_atoms(1_000);
+        // The checkpoint text is the whole observable run state, so it
+        // doubles as the value under differential comparison.
+        let chase_text = |seed: u64, threads: usize| {
+            // Random guarded sets carry no facts: chase the critical
+            // instance, like the guarded experiments do.
+            let mut p = random_guarded(&cfg, seed);
+            let initial = CriticalInstance::build(&mut p).instance;
+            let mut m =
+                ChaseMachine::new(&p, ChaseConfig::of(ChaseVariant::SemiOblivious), initial);
+            let stop = m.run_parallel(&budget, threads);
+            format!("{stop}\n{}", m.snapshot().to_text().unwrap())
+        };
+
+        let clean: Vec<String> = (0..SEEDS).map(|s| chase_text(s, 1)).collect();
+
+        for threads in [2, 4] {
+            let faulty = par_try_map_seeds(SEEDS, threads, |seed| {
+                plan.trip(seed);
+                chase_text(seed, 2)
+            });
+            assert_eq!(faulty.len() as u64, SEEDS);
+            let failed: Vec<u64> = faulty
+                .iter()
+                .enumerate()
+                .filter_map(|(s, r)| r.is_err().then_some(s as u64))
+                .collect();
+            assert_eq!(failed, victims, "pool threads = {threads}");
+            for (seed, slot) in faulty.iter().enumerate() {
+                match slot {
+                    Ok(text) => assert_eq!(
+                        text, &clean[seed],
+                        "seed {seed} diverged under the nested parallel chase"
+                    ),
+                    Err(f) => assert_eq!(f.seed, seed as u64),
+                }
+            }
+        }
+    }
+
     #[test]
     fn transient_faults_are_absorbed_by_the_retry() {
         let plan = FaultPlan::new(99, 0.2);

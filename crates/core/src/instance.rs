@@ -164,6 +164,13 @@ impl Instance {
     }
 }
 
+// The parallel-round chase shares instances read-only across worker
+// threads; keep the store free of interior mutability.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Instance>();
+};
+
 impl FromIterator<Atom> for Instance {
     fn from_iter<I: IntoIterator<Item = Atom>>(iter: I) -> Self {
         Instance::from_atoms(iter)

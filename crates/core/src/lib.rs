@@ -45,8 +45,8 @@ pub use critical::CriticalInstance;
 pub use error::{CoreError, ParseError};
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use homomorphism::{
-    exists_extension, find_all_homs, for_each_hom, hom_equivalent, instance_hom_exists,
-    Substitution,
+    exists_extension, find_all_homs, for_each_hom, for_each_hom_view, hom_equivalent,
+    instance_hom_exists, InstanceView, Substitution,
 };
 pub use ids::{AtomId, ConstId, NullId, PredId, Symbol, VarId};
 pub use instance::Instance;

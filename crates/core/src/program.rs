@@ -22,6 +22,12 @@ pub struct Program {
     facts: Vec<Atom>,
 }
 
+// Chase worker threads match rule bodies against a shared `&Program`.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Program>();
+};
+
 impl Program {
     /// Creates an empty program.
     pub fn new() -> Self {

@@ -18,8 +18,8 @@ use std::ops::ControlFlow;
 use std::time::Instant;
 
 use chasekit_core::{
-    exists_extension, for_each_hom, AtomId, FxHashMap, FxHashSet, Instance, NullId,
-    Program, Substitution, Term,
+    exists_extension, for_each_hom, for_each_hom_view, AtomId, FxHashMap, FxHashSet, Instance,
+    InstanceView, NullId, Program, Substitution, Term,
 };
 
 use crate::derivation::{Application, DerivationDag};
@@ -162,6 +162,9 @@ pub struct ChaseMachine<'p> {
     /// maintained incrementally (see `guard::approx_*_bytes`).
     pub(crate) approx_bytes: usize,
     pub(crate) cancel: Option<CancelToken>,
+    /// Round/worker counters of the parallel driver (see [`crate::round`]);
+    /// kept out of `ChaseStats` so chase counters stay mode-independent.
+    pub(crate) round_stats: crate::round::RoundStats,
 }
 
 impl<'p> ChaseMachine<'p> {
@@ -187,6 +190,7 @@ impl<'p> ChaseMachine<'p> {
             },
             approx_bytes: initial_bytes,
             cancel: None,
+            round_stats: crate::round::RoundStats::default(),
         };
         for rule_idx in 0..program.rules().len() {
             machine.enqueue_matches(rule_idx, None);
@@ -244,12 +248,11 @@ impl<'p> ChaseMachine<'p> {
     /// enqueues the identity-fresh ones.
     fn enqueue_matches(&mut self, rule_idx: usize, pinned: Option<AtomId>) {
         let rule = &self.program.rules()[rule_idx];
-        let variant = self.config.variant;
 
         // Collect first (can't borrow self mutably inside the closure).
-        let mut found: Vec<Substitution> = Vec::new();
-        match pinned {
+        let found: Vec<Substitution> = match pinned {
             None => {
+                let mut found = Vec::new();
                 for_each_hom(
                     rule.body(),
                     rule.var_count(),
@@ -261,44 +264,42 @@ impl<'p> ChaseMachine<'p> {
                         ControlFlow::Continue(())
                     },
                 );
+                found
             }
-            Some(atom_id) => {
-                let pred = self.instance.atom(atom_id).pred;
-                for (body_idx, body_atom) in rule.body().iter().enumerate() {
-                    if body_atom.pred != pred {
-                        continue;
-                    }
-                    for_each_hom(
-                        rule.body(),
-                        rule.var_count(),
-                        &self.instance,
-                        None,
-                        Some((body_idx, atom_id)),
-                        &mut |s| {
-                            found.push(s.clone());
-                            ControlFlow::Continue(())
-                        },
-                    );
-                }
-            }
-        }
+            Some(atom_id) => matches_pinned(
+                self.program,
+                &InstanceView::full(&self.instance),
+                rule_idx,
+                atom_id,
+            ),
+        };
 
         for subst in found {
-            let key = variant.trigger_key(rule, &subst);
-            let key_len = key.len();
-            if self.seen.insert((rule_idx as u32, key)) {
-                self.stats.triggers_enqueued += 1;
-                self.approx_bytes +=
-                    approx_identity_bytes(key_len) + approx_trigger_bytes(subst.len());
-                self.queue.push_back(Trigger { rule: rule_idx, subst });
-            } else {
-                self.stats.triggers_deduped += 1;
-            }
+            self.admit_trigger(rule_idx, subst);
+        }
+    }
+
+    /// Admits one candidate trigger: dedups it against the identity set and
+    /// enqueues it if fresh, updating stats and the memory estimate. This is
+    /// the single merge point for both the sequential path and the
+    /// parallel-round driver, so admission order fully determines queue
+    /// order, the identity set, and the enqueue/dedup counters.
+    pub(crate) fn admit_trigger(&mut self, rule_idx: usize, subst: Substitution) {
+        let rule = &self.program.rules()[rule_idx];
+        let key = self.config.variant.trigger_key(rule, &subst);
+        let key_len = key.len();
+        if self.seen.insert((rule_idx as u32, key)) {
+            self.stats.triggers_enqueued += 1;
+            self.approx_bytes +=
+                approx_identity_bytes(key_len) + approx_trigger_bytes(subst.len());
+            self.queue.push_back(Trigger { rule: rule_idx, subst });
+        } else {
+            self.stats.triggers_deduped += 1;
         }
     }
 
     /// Draws the next trigger according to the scheduling policy.
-    fn next_trigger(&mut self) -> Option<Trigger> {
+    pub(crate) fn next_trigger(&mut self) -> Option<Trigger> {
         let drawn = match self.config.scheduling {
             Scheduling::Fifo => self.queue.pop_front(),
             Scheduling::Random(_) => {
@@ -327,21 +328,58 @@ impl<'p> ChaseMachine<'p> {
     pub fn step(&mut self) -> Option<StepEvent> {
         loop {
             let trigger = self.next_trigger()?;
-            let rule = &self.program.rules()[trigger.rule];
-
-            if self.config.variant.checks_satisfaction()
-                && exists_extension(rule.head(), rule.var_count(), &self.instance, &trigger.subst)
-            {
-                self.stats.satisfied_skips += 1;
+            if self.skip_if_satisfied(&trigger) {
                 continue;
             }
-
             return Some(self.apply(trigger));
         }
     }
 
-    /// Applies one trigger unconditionally.
+    /// The restricted chase's merge-time re-check: whether the trigger's
+    /// head is already satisfied in the *current* instance (in which case
+    /// it is counted as a skip). Always false for the (semi-)oblivious
+    /// variants.
+    pub(crate) fn skip_if_satisfied(&mut self, trigger: &Trigger) -> bool {
+        let rule = &self.program.rules()[trigger.rule];
+        if self.config.variant.checks_satisfaction()
+            && exists_extension(rule.head(), rule.var_count(), &self.instance, &trigger.subst)
+        {
+            self.stats.satisfied_skips += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Applies one trigger unconditionally and discovers the triggers its
+    /// new atoms enable (the sequential path).
     fn apply(&mut self, trigger: Trigger) -> StepEvent {
+        let event = self.apply_core(trigger);
+
+        // Discover triggers enabled by the new atoms.
+        if self.config.naive_matching {
+            if !event.new_atoms.is_empty() {
+                for rule_idx in 0..self.program.rules().len() {
+                    self.enqueue_matches(rule_idx, None);
+                }
+            }
+        } else {
+            for &id in &event.new_atoms {
+                for rule_idx in 0..self.program.rules().len() {
+                    self.enqueue_matches(rule_idx, Some(id));
+                }
+            }
+        }
+
+        event
+    }
+
+    /// Applies one trigger unconditionally *without* trigger discovery:
+    /// extends the substitution with fresh nulls, inserts the head images,
+    /// and records derivation/Skolem state. The parallel-round driver calls
+    /// this for every trigger of a round and defers discovery to the
+    /// round's parallel matching phase.
+    pub(crate) fn apply_core(&mut self, trigger: Trigger) -> StepEvent {
         let rule = &self.program.rules()[trigger.rule];
         let seq = self.next_seq;
         self.next_seq += 1;
@@ -420,21 +458,6 @@ impl<'p> ChaseMachine<'p> {
             }
         }
 
-        // Discover triggers enabled by the new atoms.
-        if self.config.naive_matching {
-            if !new_atoms.is_empty() {
-                for rule_idx in 0..self.program.rules().len() {
-                    self.enqueue_matches(rule_idx, None);
-                }
-            }
-        } else {
-            for &id in &new_atoms {
-                for rule_idx in 0..self.program.rules().len() {
-                    self.enqueue_matches(rule_idx, Some(id));
-                }
-            }
-        }
-
         StepEvent { seq, new_atoms }
     }
 
@@ -509,13 +532,48 @@ impl<'p> ChaseMachine<'p> {
 
     /// A guardrail tripped — but if no trigger is pending the chase in fact
     /// saturated exactly at the boundary, which takes precedence.
-    fn boundary(&self, reason: StopReason) -> StopReason {
+    pub(crate) fn boundary(&self, reason: StopReason) -> StopReason {
         if self.queue.is_empty() {
             StopReason::Saturated
         } else {
             reason
         }
     }
+}
+
+/// Candidate triggers for `rule_idx` pinned to `atom_id`, matched against
+/// `view`, in the matcher's deterministic enumeration order (body position,
+/// then join order). Pure with respect to the machine: both the sequential
+/// path (with a full view of the live instance) and the parallel-round
+/// workers (with a prefix view at the producing application's boundary)
+/// funnel through this function, which is what makes their discovered
+/// trigger sequences coincide.
+pub(crate) fn matches_pinned(
+    program: &Program,
+    view: &InstanceView<'_>,
+    rule_idx: usize,
+    atom_id: AtomId,
+) -> Vec<Substitution> {
+    let rule = &program.rules()[rule_idx];
+    let pred = view.atom(atom_id).pred;
+    let mut found = Vec::new();
+    for (body_idx, body_atom) in rule.body().iter().enumerate() {
+        if body_atom.pred != pred {
+            continue;
+        }
+        for_each_hom_view(
+            rule.body(),
+            rule.var_count(),
+            view,
+            None,
+            Some((body_idx, atom_id)),
+            &mut |s| {
+                found.push(s.clone());
+                ControlFlow::Continue(())
+            },
+        );
+    }
+    found
 }
 
 /// Result of a one-shot chase run.

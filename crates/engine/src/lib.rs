@@ -30,6 +30,7 @@ pub mod derivation;
 pub mod dot;
 pub mod guard;
 pub mod query;
+pub mod round;
 pub mod variant;
 
 pub use chase::{
@@ -43,4 +44,5 @@ pub use core_min::{core_of, instances_isomorphic, MAX_CORE_NULLS};
 pub use derivation::{Application, DerivationDag};
 pub use dot::derivation_to_dot;
 pub use query::{certain_answers, certainly_holds, ConjunctiveQuery, QueryError};
+pub use round::RoundStats;
 pub use variant::ChaseVariant;

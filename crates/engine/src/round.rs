@@ -1,0 +1,513 @@
+//! The parallel-round execution mode: frontier-at-once chase rounds with
+//! concurrent trigger discovery.
+//!
+//! [`ChaseMachine::run_parallel`] drives the chase in **rounds**. Each
+//! round takes the pending-trigger frontier (the queue as it stands at
+//! round start) and splits the work the sequential machine interleaves
+//! into two phases:
+//!
+//! 1. **Apply** (sequential, cheap): pop the frontier triggers in FIFO
+//!    order and apply each one — satisfaction re-checks for the restricted
+//!    chase, null minting, head-image insertion, derivation/Skolem
+//!    recording. After each application the instance length is recorded as
+//!    that application's *horizon*.
+//! 2. **Discover** (parallel, hot): the atoms born this round are turned
+//!    into `(atom, rule)` work items, partitioned over scoped worker
+//!    threads (the pool pattern of the experiment runner: an atomic claim
+//!    counter plus a result channel, no shared mutable state). Each worker
+//!    matches rule bodies pinned to its atom against a **read-only prefix
+//!    view** of the instance clipped to the producing application's
+//!    horizon ([`chasekit_core::InstanceView`]), so it reproduces exactly
+//!    the matches the sequential machine found at that moment. Results are
+//!    merged on the driver thread in deterministic (application, atom,
+//!    rule) order — the order the sequential machine enqueues — through
+//!    the same dedup-and-admit path.
+//!
+//! **Determinism.** Because (a) the apply phase performs the same
+//! applications in the same order as the sequential FIFO machine, (b) the
+//! horizon views make every pinned match see exactly the instance the
+//! sequential machine saw when it matched, and (c) the merge replays the
+//! sequential enqueue order through the same identity set, a parallel run
+//! produces **bit-identical** instances (atom ids, null numbering),
+//! derivation DAGs, queue contents, identity sets, and [`ChaseStats`] to
+//! `run` — for every variant, at every thread count. The restricted
+//! chase's order-dependence is therefore also preserved: its head
+//! re-checks happen at dequeue time against the live merged instance,
+//! which is the same instance state the sequential machine re-checked
+//! against. Round/worker counters live in [`RoundStats`], *not* in
+//! [`ChaseStats`], precisely so that stats stay comparable across modes.
+//!
+//! **Guardrails.** Budgets, the wall-clock deadline, the memory ceiling,
+//! and cancellation are checked between applications exactly like the
+//! sequential hot loop, so budget stops land on the same step boundary
+//! with the same [`StopReason`]. Workers additionally poll the deadline
+//! and the [`CancelToken`] between work items; a trip observed during
+//! discovery stops the run at the end of the current round (discovery for
+//! already-applied triggers always completes first — that is what keeps
+//! the stopped machine checkpoint-consistent and resumable by either
+//! execution mode).
+//!
+//! [`ChaseStats`]: crate::ChaseStats
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::time::Instant;
+
+use chasekit_core::{AtomId, Instance, InstanceView, Program, Substitution};
+
+use crate::chase::{matches_pinned, ChaseMachine, Scheduling};
+use crate::guard::{Budget, CancelToken, StopReason};
+
+/// Counters describing the round structure of a parallel run.
+///
+/// Deliberately separate from [`crate::ChaseStats`]: the chase counters
+/// must stay bit-identical between the sequential and parallel engines
+/// (the differential suite compares them), while these describe *how* the
+/// run was executed, which legitimately differs.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct RoundStats {
+    /// Rounds driven (one per frontier batch, including budget-stopped
+    /// ones).
+    pub rounds: u64,
+    /// Rounds whose discovery phase was fanned out to worker threads.
+    pub parallel_rounds: u64,
+    /// `(atom, rule)` discovery work items processed across all rounds.
+    pub work_items: u64,
+    /// Widest frontier seen at a round start (pending triggers).
+    pub max_frontier: usize,
+    /// Worker threads requested for the run (0 until a parallel run).
+    pub threads: usize,
+}
+
+/// One unit of discovery work: match `rule`'s body pinned to `atom`
+/// against the instance prefix of length `horizon`.
+#[derive(Debug, Clone, Copy)]
+struct WorkItem {
+    atom: AtomId,
+    horizon: usize,
+    rule: usize,
+}
+
+/// Deadline/cancellation probe shared with the discovery workers.
+struct AbortProbe<'a> {
+    cancel: Option<&'a CancelToken>,
+    deadline: Option<Instant>,
+}
+
+impl AbortProbe<'_> {
+    fn tripped(&self) -> bool {
+        self.cancel.is_some_and(|t| t.is_cancelled())
+            || self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+}
+
+/// Runs every work item, fanned out over `threads` scoped workers against
+/// the shared read-only instance, and returns the per-item matches in item
+/// order. Workers claim items through an atomic counter and report through
+/// a channel, so there is no shared mutable state to contend on; they poll
+/// `probe` between items and record a trip in `observed` (work still runs
+/// to completion — consistency of the already-applied round requires its
+/// discovery to finish).
+fn discover_parallel(
+    program: &Program,
+    instance: &Instance,
+    items: &[WorkItem],
+    threads: usize,
+    probe: &AbortProbe<'_>,
+    observed: &AtomicBool,
+) -> Vec<Vec<Substitution>> {
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, Vec<Substitution>)>();
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(items.len()) {
+            let tx = tx.clone();
+            let next = &next;
+            scope.spawn(move || loop {
+                if probe.tripped() {
+                    observed.store(true, Ordering::Relaxed);
+                }
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                if idx >= items.len() {
+                    break;
+                }
+                let item = items[idx];
+                let view = InstanceView::prefix(instance, item.horizon);
+                let homs = matches_pinned(program, &view, item.rule, item.atom);
+                if tx.send((idx, homs)).is_err() {
+                    break;
+                }
+            });
+        }
+    });
+    drop(tx);
+
+    let mut slots: Vec<Option<Vec<Substitution>>> = (0..items.len()).map(|_| None).collect();
+    for (idx, homs) in rx {
+        slots[idx] = Some(homs);
+    }
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(idx, slot)| slot.unwrap_or_else(|| panic!("work item {idx} was never processed")))
+        .collect()
+}
+
+impl ChaseMachine<'_> {
+    /// Counters describing the round structure of the latest parallel run
+    /// (all zero for purely sequential machines).
+    pub fn round_stats(&self) -> &RoundStats {
+        &self.round_stats
+    }
+
+    /// Runs the chase in parallel rounds on `threads` workers until
+    /// saturation or the first guardrail — producing **bit-identical**
+    /// state to [`run`](Self::run) (see the module docs for the argument).
+    ///
+    /// Falls back to the sequential loop when it would not help or when
+    /// the configuration pins the execution order in a way rounds cannot
+    /// reproduce: `threads <= 1`, random trigger scheduling (the xorshift
+    /// draw order depends on interleaving), or naive matching (the
+    /// ablation mode re-matches everything from scratch per step).
+    pub fn run_parallel(&mut self, budget: &Budget, threads: usize) -> StopReason {
+        if threads <= 1
+            || self.config.scheduling != Scheduling::Fifo
+            || self.config.naive_matching
+        {
+            return self.run(budget);
+        }
+        self.round_stats.threads = threads;
+
+        let start = Instant::now();
+        let deadline = budget.max_wall.map(|w| start + w);
+        // Same wall/memory polling cadence as the sequential hot loop.
+        const PERIOD: u64 = 32;
+
+        loop {
+            if self.queue.is_empty() {
+                return StopReason::Saturated;
+            }
+            self.round_stats.rounds += 1;
+            let frontier = self.queue.len();
+            self.round_stats.max_frontier = self.round_stats.max_frontier.max(frontier);
+            let mut remaining = frontier;
+            let mut pending_stop: Option<StopReason> = None;
+            // One entry per application of this round: the atoms it added
+            // and the instance length right afterwards (its horizon).
+            let mut batches: Vec<(Vec<AtomId>, usize)> = Vec::new();
+
+            // Phase 1: apply the frontier in FIFO order, guard checks once
+            // per application attempt (mirroring the sequential `run`).
+            'applications: while remaining > 0 {
+                if self.stats.applications >= budget.max_applications {
+                    pending_stop = Some(StopReason::Applications);
+                    break;
+                }
+                if self.instance.len() >= budget.max_atoms {
+                    pending_stop = Some(StopReason::Atoms);
+                    break;
+                }
+                if let Some(token) = &self.cancel {
+                    if token.is_cancelled() {
+                        pending_stop = Some(StopReason::Cancelled);
+                        break;
+                    }
+                }
+                if self.stats.applications.is_multiple_of(PERIOD) {
+                    if let Some(limit) = budget.max_wall {
+                        if start.elapsed() >= limit {
+                            pending_stop = Some(StopReason::WallClock);
+                            break;
+                        }
+                    }
+                    if let Some(ceiling) = budget.max_memory {
+                        if self.approx_bytes >= ceiling {
+                            pending_stop = Some(StopReason::Memory);
+                            break;
+                        }
+                    }
+                }
+                // Pop (skipping satisfied restricted triggers) until one
+                // trigger applies or the frontier is exhausted.
+                loop {
+                    if remaining == 0 {
+                        break 'applications;
+                    }
+                    remaining -= 1;
+                    let trigger = self.next_trigger().expect("frontier is non-empty");
+                    if self.skip_if_satisfied(&trigger) {
+                        continue;
+                    }
+                    let event = self.apply_core(trigger);
+                    if !event.new_atoms.is_empty() {
+                        batches.push((event.new_atoms, self.instance.len()));
+                    }
+                    break;
+                }
+            }
+
+            // Phase 2: parallel discovery, merged in the deterministic
+            // (application, atom, rule) order — the sequential enqueue
+            // order. Rules whose bodies never mention the new atom's
+            // predicate match emptily and are pre-filtered.
+            let mut items: Vec<WorkItem> = Vec::new();
+            for (new_atoms, horizon) in &batches {
+                for &atom in new_atoms {
+                    let pred = self.instance.atom(atom).pred;
+                    for (rule_idx, rule) in self.program.rules().iter().enumerate() {
+                        if rule.body().iter().any(|a| a.pred == pred) {
+                            items.push(WorkItem { atom, horizon: *horizon, rule: rule_idx });
+                        }
+                    }
+                }
+            }
+            self.round_stats.work_items += items.len() as u64;
+
+            let observed = AtomicBool::new(false);
+            let cancel = self.cancel.clone();
+            let probe = AbortProbe { cancel: cancel.as_ref(), deadline };
+            // Fan out only when every worker gets at least two items:
+            // spawning scoped threads over a near-empty frontier costs more
+            // than the matching it would hide. Inline discovery runs the
+            // same code in the same item order, so the choice is invisible
+            // to the result.
+            let fan = threads.min(items.len() / 2);
+            let results: Vec<Vec<Substitution>> = if fan < 2 {
+                items
+                    .iter()
+                    .map(|item| {
+                        let view = InstanceView::prefix(&self.instance, item.horizon);
+                        matches_pinned(self.program, &view, item.rule, item.atom)
+                    })
+                    .collect()
+            } else {
+                self.round_stats.parallel_rounds += 1;
+                discover_parallel(self.program, &self.instance, &items, fan, &probe, &observed)
+            };
+            for (item, homs) in items.iter().zip(results) {
+                for subst in homs {
+                    self.admit_trigger(item.rule, subst);
+                }
+            }
+
+            if let Some(stop) = pending_stop {
+                return self.boundary(stop);
+            }
+            // A trip observed during discovery (by a worker or just now)
+            // ends the run at this round boundary instead of paying for
+            // another round of applications.
+            if observed.load(Ordering::Relaxed) || probe.tripped() {
+                let reason = if self.cancel.as_ref().is_some_and(|t| t.is_cancelled()) {
+                    StopReason::Cancelled
+                } else {
+                    StopReason::WallClock
+                };
+                return self.boundary(reason);
+            }
+            // Memory accounting for pending triggers lands at the merge, so
+            // mid-round ceiling checks undercount; the round boundary is
+            // where the estimate is exact (and equals the sequential
+            // machine's at the same application count). A memory stop may
+            // therefore land up to one round later than sequentially — it
+            // is a resource guard, not part of the deterministic state.
+            if let Some(ceiling) = budget.max_memory {
+                if self.approx_bytes >= ceiling {
+                    return self.boundary(StopReason::Memory);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Duration;
+
+    use chasekit_core::Program;
+
+    use crate::chase::{ChaseConfig, ChaseMachine, Scheduling};
+    use crate::guard::{Budget, CancelToken, StopReason};
+    use crate::variant::ChaseVariant;
+
+    /// Diverges under every variant with a frontier that widens each round
+    /// (every `e` atom feeds two rules), so rounds really fan out.
+    const DIVERGING: &str = "\
+        e(a, b).\n\
+        e(X, Y) -> e(Y, Z).\n\
+        e(X, Y) -> f(Y, W).\n\
+        f(X, Y) -> e(Y, Z).\n";
+
+    /// Saturates after exactly two applications: p(a) ⇒ q(a) ⇒ r(a).
+    const TWO_STEPS: &str = "p(a). p(X) -> q(X). q(X) -> r(X).";
+
+    fn machine(text: &str, config: ChaseConfig) -> ChaseMachine<'_> {
+        // Leak: test-only convenience to get a 'static program.
+        let program = Box::leak(Box::new(Program::parse(text).unwrap()));
+        let initial =
+            chasekit_core::Instance::from_atoms(program.facts().iter().cloned());
+        ChaseMachine::new(program, config, initial)
+    }
+
+    /// The checkpoint text serializes the whole resumable state — instance,
+    /// queue, identity set, RNG, stats — so equality here is bit-identity
+    /// of everything the chase can observe.
+    fn state_text(m: &ChaseMachine<'_>) -> String {
+        m.snapshot().to_text().expect("untracked runs serialize")
+    }
+
+    #[test]
+    fn bit_identical_to_the_sequential_machine_for_every_variant() {
+        for variant in
+            [ChaseVariant::Oblivious, ChaseVariant::SemiOblivious, ChaseVariant::Restricted]
+        {
+            let budget = Budget::applications(120);
+            let mut seq = machine(DIVERGING, ChaseConfig::of(variant));
+            let seq_stop = seq.run(&budget);
+            for threads in [2, 4, 8] {
+                let mut par = machine(DIVERGING, ChaseConfig::of(variant));
+                let par_stop = par.run_parallel(&budget, threads);
+                assert_eq!(seq_stop, par_stop, "{variant:?} stop @ {threads} threads");
+                assert_eq!(
+                    state_text(&seq),
+                    state_text(&par),
+                    "{variant:?} state @ {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tracked_runs_produce_identical_derivations_and_skolem_ancestry() {
+        let config = ChaseConfig::of(ChaseVariant::SemiOblivious).with_derivation().with_skolem();
+        let budget = Budget::applications(80);
+        let mut seq = machine(DIVERGING, config);
+        let mut par = machine(DIVERGING, config);
+        assert_eq!(seq.run(&budget), par.run_parallel(&budget, 4));
+        assert_eq!(format!("{:?}", seq.derivation()), format!("{:?}", par.derivation()));
+        assert_eq!(seq.skolem_cyclic(), par.skolem_cyclic());
+        assert_eq!(seq.stats(), par.stats());
+    }
+
+    #[test]
+    fn empty_queue_exactly_at_the_cap_reports_saturated() {
+        let mut m = machine(TWO_STEPS, ChaseConfig::of(ChaseVariant::Oblivious));
+        assert_eq!(m.run_parallel(&Budget::applications(2), 4), StopReason::Saturated);
+        assert_eq!(m.stats().applications, 2);
+    }
+
+    #[test]
+    fn applications_cap_with_pending_work_reports_applications() {
+        let mut m = machine(TWO_STEPS, ChaseConfig::of(ChaseVariant::Oblivious));
+        assert_eq!(m.run_parallel(&Budget::applications(1), 4), StopReason::Applications);
+        assert_eq!(m.stats().applications, 1);
+        assert!(m.pending() > 0);
+    }
+
+    #[test]
+    fn atoms_cap_stops_round_mode_on_the_sequential_boundary() {
+        let budget = Budget::unlimited().with_atoms(50);
+        let mut seq = machine(DIVERGING, ChaseConfig::of(ChaseVariant::Oblivious));
+        let mut par = machine(DIVERGING, ChaseConfig::of(ChaseVariant::Oblivious));
+        assert_eq!(seq.run(&budget), StopReason::Atoms);
+        assert_eq!(par.run_parallel(&budget, 4), StopReason::Atoms);
+        assert_eq!(state_text(&seq), state_text(&par));
+    }
+
+    #[test]
+    fn memory_ceiling_stops_round_mode_at_a_consistent_boundary() {
+        let ceiling = 64 * 1024;
+        let budget = Budget::unlimited().with_memory(ceiling);
+        let mut seq = machine(DIVERGING, ChaseConfig::of(ChaseVariant::Oblivious));
+        let mut par = machine(DIVERGING, ChaseConfig::of(ChaseVariant::Oblivious));
+        assert_eq!(seq.run(&budget), StopReason::Memory);
+        assert_eq!(par.run_parallel(&budget, 4), StopReason::Memory);
+        // The estimate genuinely exceeded the ceiling, and the stop may
+        // land at most one round after the sequential boundary (trigger
+        // bytes are accounted at the merge, see the driver).
+        assert!(par.approx_memory_bytes() >= ceiling);
+        assert!(par.stats().applications >= seq.stats().applications);
+        // The stopped state is a consistent checkpoint that keeps chasing.
+        let text = state_text(&par);
+        let restored = crate::checkpoint::Checkpoint::from_text(&text).unwrap();
+        let program = Box::leak(Box::new(Program::parse(DIVERGING).unwrap()));
+        let mut resumed = restored.resume(program).unwrap();
+        let more = Budget::applications(resumed.stats().applications + 5);
+        assert_eq!(resumed.run_parallel(&more, 4), StopReason::Applications);
+    }
+
+    #[test]
+    fn a_pre_cancelled_token_stops_before_any_application() {
+        let mut m = machine(DIVERGING, ChaseConfig::of(ChaseVariant::Oblivious));
+        let token = CancelToken::new();
+        token.cancel();
+        m.set_cancel_token(token);
+        assert_eq!(m.run_parallel(&Budget::unlimited(), 4), StopReason::Cancelled);
+        assert_eq!(m.stats().applications, 0);
+    }
+
+    #[test]
+    fn cancellation_stops_a_parallel_run_mid_flight_and_leaves_it_resumable() {
+        let mut m = machine(DIVERGING, ChaseConfig::of(ChaseVariant::SemiOblivious));
+        let token = CancelToken::new();
+        m.set_cancel_token(token.clone());
+        let canceller = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            token.cancel();
+        });
+        // The 30 s deadline is a safety net for a broken cancel path; the
+        // token must win long before it.
+        let stop = m.run_parallel(&Budget::unlimited().with_timeout_ms(30_000), 4);
+        canceller.join().unwrap();
+        assert_eq!(stop, StopReason::Cancelled);
+        assert!(m.stats().applications > 0, "cancel should land mid-run, not at the start");
+
+        // The stopped state round-trips through the text checkpoint and
+        // keeps chasing — i.e. cancellation left a consistent boundary.
+        let text = state_text(&m);
+        let restored = crate::checkpoint::Checkpoint::from_text(&text).unwrap();
+        let program = Box::leak(Box::new(Program::parse(DIVERGING).unwrap()));
+        let mut resumed = restored.resume(program).unwrap();
+        let more = Budget::applications(resumed.stats().applications + 10);
+        assert_eq!(resumed.run_parallel(&more, 4), StopReason::Applications);
+        assert_eq!(resumed.stats().applications, m.stats().applications + 10);
+    }
+
+    #[test]
+    fn a_wall_clock_deadline_stops_a_parallel_run() {
+        let mut m = machine(DIVERGING, ChaseConfig::of(ChaseVariant::Oblivious));
+        let stop = m.run_parallel(&Budget::unlimited().with_timeout_ms(15), 4);
+        assert_eq!(stop, StopReason::WallClock);
+        assert!(m.pending() > 0, "the diverging chase never drains its queue");
+    }
+
+    #[test]
+    fn single_thread_and_random_scheduling_fall_back_to_the_sequential_loop() {
+        let budget = Budget::applications(60);
+
+        let mut seq = machine(DIVERGING, ChaseConfig::of(ChaseVariant::Oblivious));
+        let mut one = machine(DIVERGING, ChaseConfig::of(ChaseVariant::Oblivious));
+        assert_eq!(seq.run(&budget), one.run_parallel(&budget, 1));
+        assert_eq!(state_text(&seq), state_text(&one));
+        assert_eq!(one.round_stats().rounds, 0, "threads=1 must not enter round mode");
+
+        let random = ChaseConfig::of(ChaseVariant::Restricted).with_random_scheduling(7);
+        assert_eq!(random.scheduling, Scheduling::Random(7));
+        let mut seq = machine(DIVERGING, random);
+        let mut par = machine(DIVERGING, random);
+        assert_eq!(seq.run(&budget), par.run_parallel(&budget, 4));
+        assert_eq!(state_text(&seq), state_text(&par));
+        assert_eq!(par.round_stats().rounds, 0, "random scheduling must not enter round mode");
+    }
+
+    #[test]
+    fn round_stats_describe_the_fan_out() {
+        let mut m = machine(DIVERGING, ChaseConfig::of(ChaseVariant::Oblivious));
+        m.run_parallel(&Budget::applications(120), 4);
+        let rs = m.round_stats().clone();
+        assert_eq!(rs.threads, 4);
+        assert!(rs.rounds >= 1);
+        assert!(rs.parallel_rounds >= 1, "the widening frontier must fan out at least once");
+        assert!(rs.work_items > 0);
+        assert!(rs.max_frontier >= 2);
+    }
+}

@@ -7,6 +7,7 @@
 //! chasekit explain   <rules-file> [--variant o|so]
 //! chasekit chase     <rules-file> [--variant o|so|restricted] [--steps N] [--dot FILE]
 //!                    [--timeout-ms N] [--max-atoms-mem BYTES] [--checkpoint FILE]
+//!                    [--threads N]
 //! chasekit critical  <rules-file> [--standard]
 //! ```
 //!
@@ -38,6 +39,9 @@ options:
   --max-atoms-mem BYTES       (chase) approximate memory ceiling in bytes
   --checkpoint FILE           (chase) resume from FILE if present; write the
                               run state back there when a guardrail stops it
+  --threads N                 (chase) worker threads for parallel-round
+                              execution (default: 1 = sequential); results
+                              are bit-identical at every thread count
 exit codes (chase): 0 saturated, 10 applications, 11 atoms, 12 wall-clock,
                     13 memory, 14 cancelled";
 
@@ -59,6 +63,7 @@ struct Args {
     timeout_ms: Option<u64>,
     max_mem: Option<usize>,
     checkpoint: Option<String>,
+    threads: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -83,6 +88,7 @@ fn parse_args() -> Result<Args, String> {
         timeout_ms: None,
         max_mem: None,
         checkpoint: None,
+        threads: 1,
     };
     // A flag's value, or a named error if the command line ends first.
     fn value(argv: &mut impl Iterator<Item = String>, flag: &str) -> Result<String, String> {
@@ -119,6 +125,12 @@ fn parse_args() -> Result<Args, String> {
             "--timeout-ms" => out.timeout_ms = Some(number(&mut argv, "--timeout-ms")?),
             "--max-atoms-mem" => out.max_mem = Some(number(&mut argv, "--max-atoms-mem")?),
             "--checkpoint" => out.checkpoint = Some(value(&mut argv, "--checkpoint")?),
+            "--threads" => {
+                out.threads = number(&mut argv, "--threads")?;
+                if out.threads == 0 {
+                    return Err("`--threads` expects a positive integer, got `0`".to_string());
+                }
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -271,7 +283,7 @@ fn main() -> ExitCode {
             if let Some(bytes) = args.max_mem {
                 budget = budget.with_memory(bytes);
             }
-            let outcome = machine.run(&budget);
+            let outcome = machine.run_parallel(&budget, args.threads);
             println!(
                 "outcome: {} after {} applications, {} atoms, {} nulls (~{} KiB)",
                 outcome,

@@ -235,6 +235,131 @@ fn memory_ceiling_exits_13() {
 }
 
 #[test]
+fn threaded_chase_output_is_identical_to_the_sequential_default() {
+    let path = write_rules(
+        "threads-eq.rules",
+        "e(a, b). e(X, Y) -> e(Y, Z). e(X, Y) -> f(Y, W). f(X, Y) -> e(Y, Z).",
+    );
+    let (seq_out, _, seq_code) = run(&["chase", path.to_str().unwrap(), "--steps", "120"]);
+    assert_eq!(seq_code, Some(10), "{seq_out}");
+    for threads in ["2", "4", "8"] {
+        let (par_out, _, par_code) = run(&[
+            "chase",
+            path.to_str().unwrap(),
+            "--steps",
+            "120",
+            "--threads",
+            threads,
+        ]);
+        assert_eq!(par_code, seq_code, "--threads {threads}");
+        // The whole printed report — outcome line, counters, and every
+        // atom with its null numbering — must match byte for byte.
+        assert_eq!(par_out, seq_out, "--threads {threads}");
+    }
+}
+
+#[test]
+fn threaded_chase_keeps_the_exit_code_contract() {
+    let diverging = write_rules("threads-codes.rules", "p(a, b). p(X, Y) -> p(Y, Z).");
+    let saturating = write_rules("threads-sat.rules", "e(a, b). e(X, Y) -> t(Y, X).");
+
+    let (stdout, _, code) =
+        run(&["chase", saturating.to_str().unwrap(), "--threads", "4"]);
+    assert_eq!(code, Some(0), "{stdout}");
+    assert!(stdout.contains("saturated"), "{stdout}");
+
+    let (stdout, _, code) =
+        run(&["chase", diverging.to_str().unwrap(), "--steps", "25", "--threads", "4"]);
+    assert_eq!(code, Some(10), "{stdout}");
+
+    let (stdout, _, code) = run(&[
+        "chase",
+        diverging.to_str().unwrap(),
+        "--steps",
+        "100000000",
+        "--timeout-ms",
+        "30",
+        "--threads",
+        "4",
+    ]);
+    assert_eq!(code, Some(12), "{stdout}");
+
+    let (stdout, _, code) = run(&[
+        "chase",
+        diverging.to_str().unwrap(),
+        "--steps",
+        "100000000",
+        "--max-atoms-mem",
+        "20000",
+        "--threads",
+        "4",
+    ]);
+    assert_eq!(code, Some(13), "{stdout}");
+}
+
+#[test]
+fn bad_thread_counts_are_named_in_the_error() {
+    let path = write_rules("threads-bad.rules", "p(X) -> q(X).");
+    let (_, stderr, code) = run(&["chase", path.to_str().unwrap(), "--threads", "0"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("--threads"), "{stderr}");
+    let (_, stderr, code) = run(&["chase", path.to_str().unwrap(), "--threads", "lots"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("--threads"), "{stderr}");
+    assert!(stderr.contains("lots"), "{stderr}");
+}
+
+#[test]
+fn checkpoint_written_sequentially_resumes_under_threads_and_vice_versa() {
+    let rules = "p(a, b). p(X, Y) -> p(Y, Z).";
+    let path = write_rules("ckpt-threads.rules", rules);
+    let ckpt = std::env::temp_dir().join("chasekit-cli-tests").join("threads.ckpt");
+    let _ = std::fs::remove_file(&ckpt);
+
+    // Sequential leg writes the checkpoint; threaded leg resumes it.
+    let (_, _, code) = run(&[
+        "chase",
+        path.to_str().unwrap(),
+        "--steps",
+        "30",
+        "--checkpoint",
+        ckpt.to_str().unwrap(),
+    ]);
+    assert_eq!(code, Some(10));
+    let (resumed_out, _, code) = run(&[
+        "chase",
+        path.to_str().unwrap(),
+        "--steps",
+        "60",
+        "--threads",
+        "4",
+        "--checkpoint",
+        ckpt.to_str().unwrap(),
+    ]);
+    assert_eq!(code, Some(10), "{resumed_out}");
+    assert!(resumed_out.contains("resuming from checkpoint"), "{resumed_out}");
+
+    // And back: the threaded leg's checkpoint resumes sequentially.
+    let (final_out, _, code) = run(&[
+        "chase",
+        path.to_str().unwrap(),
+        "--steps",
+        "90",
+        "--checkpoint",
+        ckpt.to_str().unwrap(),
+    ]);
+    assert_eq!(code, Some(10), "{final_out}");
+
+    // The three-leg relay lands exactly where a straight 90-step run does.
+    let (straight_out, _, _) = run(&["chase", path.to_str().unwrap(), "--steps", "90"]);
+    let atoms = |s: &str| -> Vec<String> {
+        s.lines().filter(|l| l.starts_with("p(")).map(|l| l.to_string()).collect()
+    };
+    assert_eq!(atoms(&final_out), atoms(&straight_out));
+    let _ = std::fs::remove_file(&ckpt);
+}
+
+#[test]
 fn checkpointed_run_resumes_and_matches_a_straight_run() {
     let rules = "p(a, b). p(X, Y) -> p(Y, Z).";
     let path = write_rules("ckpt.rules", rules);
