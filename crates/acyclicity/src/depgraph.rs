@@ -109,12 +109,36 @@ impl Acyclicity {
     }
 }
 
+/// Work performed by a graph-based acyclicity check: the size of the
+/// analyzed graph. Reported alongside verdicts so experiments can compare
+/// checker effort, not just outcomes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GraphWork {
+    /// Nodes (schema positions) in the dependency graph.
+    pub nodes: usize,
+    /// Edges, with multiplicity collapsed (regular + special).
+    pub edges: usize,
+    /// Edges marked special (null-creating propagation).
+    pub special_edges: usize,
+}
+
 /// Checks a program against the chosen dependency graph.
 pub fn check(program: &Program, kind: GraphKind) -> Acyclicity {
-    match dependency_graph(program, kind).find_special_cycle_edge() {
+    check_with_work(program, kind).0
+}
+
+/// Like [`check`], but also reports the size of the graph the verdict was
+/// computed on.
+pub fn check_with_work(program: &Program, kind: GraphKind) -> (Acyclicity, GraphWork) {
+    let g = dependency_graph(program, kind);
+    let special_edges =
+        (0..g.node_count()).map(|u| g.edges(u).iter().filter(|(_, s)| *s).count()).sum();
+    let work = GraphWork { nodes: g.node_count(), edges: g.edge_count(), special_edges };
+    let verdict = match g.find_special_cycle_edge() {
         None => Acyclicity::Acyclic,
         Some((from, to)) => Acyclicity::DangerousCycle { from, to },
-    }
+    };
+    (verdict, work)
 }
 
 /// Weak acyclicity: no dangerous cycle in the dependency graph.
@@ -250,6 +274,18 @@ mod tests {
         // p(X, X) -> q(X): edges from both p#0 and p#1.
         let p = parse("p(X, X) -> q(X, Z). q(X, Z) -> p(Z, Z).");
         assert!(!is_weakly_acyclic(&p));
+    }
+
+    #[test]
+    fn check_with_work_reports_graph_sizes() {
+        let p = parse("p(X, Y) -> p(Y, Z).");
+        let (verdict, work) = check_with_work(&p, GraphKind::Standard);
+        assert!(!verdict.is_acyclic());
+        // Regular: p#1 -> p#0 (Y). Special: p#1 -> p#1 (Y feeds Z).
+        assert_eq!(work, GraphWork { nodes: 2, edges: 2, special_edges: 1 });
+        let (_, extended) = check_with_work(&p, GraphKind::Extended);
+        // Adds special p#0 -> p#1 (X is non-frontier universal).
+        assert_eq!(extended, GraphWork { nodes: 2, edges: 3, special_edges: 2 });
     }
 
     #[test]

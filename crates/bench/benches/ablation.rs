@@ -139,5 +139,65 @@ fn bench_parallel_rounds(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_delta_vs_naive, bench_deferred_rechecks, bench_parallel_rounds);
+/// Observability ablation on the E4 guarded family: the same chases with
+/// tracing disabled (the default `Option<TraceHandle>` = `None` path), with
+/// a JSONL sink writing to `io::sink()`, and with the in-memory metrics
+/// registry. The disabled row must sit within noise of the pre-trace
+/// baseline — the handle is one `Option` check on the hot path.
+fn bench_trace_overhead(c: &mut Criterion) {
+    use chasekit_core::CriticalInstance;
+    use chasekit_engine::{JsonlSink, MetricsSink};
+
+    let mut group = c.benchmark_group("ablation/trace_overhead");
+    group.sample_size(10);
+    let cfg = RandomConfig { predicates: 4, max_arity: 3, rules: 4, ..Default::default() };
+    let programs: Vec<Program> = (0..8)
+        .map(|s| {
+            let mut p = random_guarded(&cfg, 90_000 + s);
+            let _ = CriticalInstance::build(&mut p);
+            p
+        })
+        .collect();
+    let budget = Budget { max_applications: 800, max_atoms: 20_000, ..Budget::unlimited() };
+
+    for mode in ["disabled", "jsonl", "metrics"] {
+        group.bench_with_input(BenchmarkId::from_parameter(mode), &mode, |b, &mode| {
+            b.iter(|| {
+                let mut atoms = 0usize;
+                for p in &programs {
+                    let mut frozen = p.clone();
+                    let initial = CriticalInstance::build(&mut frozen).instance;
+                    let cfg = ChaseConfig::of(ChaseVariant::SemiOblivious);
+                    let mut m = match mode {
+                        "jsonl" => ChaseMachine::new_with_trace(
+                            &frozen,
+                            cfg,
+                            initial,
+                            Box::new(JsonlSink::new(std::io::sink(), &frozen)),
+                        ),
+                        "metrics" => ChaseMachine::new_with_trace(
+                            &frozen,
+                            cfg,
+                            initial,
+                            Box::new(MetricsSink::new(&frozen)),
+                        ),
+                        _ => ChaseMachine::new(&frozen, cfg, initial),
+                    };
+                    let _ = m.run(&budget);
+                    atoms += m.instance().len();
+                }
+                black_box(atoms)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_delta_vs_naive,
+    bench_deferred_rechecks,
+    bench_parallel_rounds,
+    bench_trace_overhead
+);
 criterion_main!(benches);

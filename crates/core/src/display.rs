@@ -76,6 +76,30 @@ pub fn program_to_string(program: &Program) -> String {
     s
 }
 
+/// Renders a string as a JSON string literal (quoted, with `"` `\` and
+/// control characters escaped). Used by the engine's trace/metrics
+/// exporters so event payloads built from vocabulary names stay valid
+/// JSON whatever the input program called its predicates.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
 /// Renders an instance, one atom per line, in insertion order.
 pub fn instance_to_string(instance: &Instance, vocab: &Vocabulary) -> String {
     let mut s = String::new();
@@ -122,6 +146,14 @@ mod tests {
         let rendered = program_to_string(&p);
         let p2 = Program::parse(&rendered).unwrap();
         assert_eq!(program_to_string(&p2), rendered);
+    }
+
+    #[test]
+    fn json_string_escapes_specials() {
+        assert_eq!(json_string("person"), "\"person\"");
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+        assert_eq!(json_string("line\nbreak"), "\"line\\nbreak\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
     }
 
     #[test]

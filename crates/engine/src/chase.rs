@@ -27,6 +27,7 @@ use crate::guard::{
     approx_atom_bytes, approx_identity_bytes, approx_trigger_bytes, Budget, CancelToken,
     StopReason,
 };
+use crate::trace::{core_seq, ProgressMeter, ProgressReport, TraceEvent, TraceHandle, TraceSink};
 use crate::variant::ChaseVariant;
 
 /// Static configuration of a chase machine.
@@ -165,11 +166,38 @@ pub struct ChaseMachine<'p> {
     /// Round/worker counters of the parallel driver (see [`crate::round`]);
     /// kept out of `ChaseStats` so chase counters stay mode-independent.
     pub(crate) round_stats: crate::round::RoundStats,
+    /// Installed trace sink, if any. Strictly observational: state
+    /// transitions are identical with or without it (see [`crate::trace`]).
+    pub(crate) trace: Option<TraceHandle>,
+    /// Periodic progress reporter, polled on the guard-poll cadence.
+    pub(crate) progress: Option<ProgressMeter>,
 }
 
 impl<'p> ChaseMachine<'p> {
     /// Creates a machine over `initial` and enqueues all initial triggers.
     pub fn new(program: &'p Program, config: ChaseConfig, initial: Instance) -> Self {
+        Self::build(program, config, initial, None)
+    }
+
+    /// Creates a machine with `sink` installed *before* the initial trigger
+    /// discovery, so the trace covers the initial admissions too (sequence
+    /// numbers start at 0). For resuming a traced run from a checkpoint,
+    /// use [`set_trace_sink`](Self::set_trace_sink) instead.
+    pub fn new_with_trace(
+        program: &'p Program,
+        config: ChaseConfig,
+        initial: Instance,
+        sink: Box<dyn TraceSink>,
+    ) -> Self {
+        Self::build(program, config, initial, Some(TraceHandle::new(sink, 0)))
+    }
+
+    fn build(
+        program: &'p Program,
+        config: ChaseConfig,
+        initial: Instance,
+        trace: Option<TraceHandle>,
+    ) -> Self {
         let initial_bytes: usize =
             initial.iter().map(|(_, a)| approx_atom_bytes(a.arity())).sum();
         let mut machine = ChaseMachine {
@@ -191,6 +219,8 @@ impl<'p> ChaseMachine<'p> {
             approx_bytes: initial_bytes,
             cancel: None,
             round_stats: crate::round::RoundStats::default(),
+            trace,
+            progress: None,
         };
         for rule_idx in 0..program.rules().len() {
             machine.enqueue_matches(rule_idx, None);
@@ -203,6 +233,55 @@ impl<'p> ChaseMachine<'p> {
     /// handle for the controlling thread.
     pub fn set_cancel_token(&mut self, token: CancelToken) {
         self.cancel = Some(token);
+    }
+
+    /// Installs a trace sink on a machine mid-run (typically right after a
+    /// checkpoint resume). The sink's sequence counter continues from
+    /// [`core_seq`] of the current stats, so a trace split across an
+    /// interrupt/resume concatenates with contiguous numbering.
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.trace = Some(TraceHandle::new(sink, core_seq(&self.stats)));
+    }
+
+    /// Emits a lifecycle event (e.g. [`TraceEvent::CheckpointWrite`]) into
+    /// the installed sink, at the current sequence number. No-op without a
+    /// sink; core events are rejected (they are the machine's own).
+    pub fn trace_note(&mut self, event: TraceEvent) {
+        assert!(!event.is_core(), "core events are emitted by the machine itself");
+        if let Some(t) = &mut self.trace {
+            t.note(event);
+        }
+    }
+
+    /// Flushes the installed trace sink, if any.
+    pub fn flush_trace(&mut self) {
+        if let Some(t) = &mut self.trace {
+            t.flush();
+        }
+    }
+
+    /// Installs a periodic progress callback, fired at most every `every`
+    /// on the guard-poll cadence of [`run`](Self::run) /
+    /// [`run_parallel`](Self::run_parallel). Reads the wall clock but
+    /// never touches deterministic state.
+    pub fn set_progress(
+        &mut self,
+        every: std::time::Duration,
+        callback: Box<dyn FnMut(&ProgressReport) + Send>,
+    ) {
+        self.progress = Some(ProgressMeter::new(every, self.stats.applications, callback));
+    }
+
+    /// Fires the progress callback if its interval elapsed.
+    pub(crate) fn poll_progress(&mut self) {
+        if let Some(p) = &mut self.progress {
+            p.poll(
+                self.stats.applications,
+                self.instance.len(),
+                self.queue.len(),
+                self.approx_bytes,
+            );
+        }
     }
 
     /// The approximate resident size of the machine in bytes (instance +
@@ -290,11 +369,17 @@ impl<'p> ChaseMachine<'p> {
         let key_len = key.len();
         if self.seen.insert((rule_idx as u32, key)) {
             self.stats.triggers_enqueued += 1;
+            if let Some(t) = &mut self.trace {
+                t.core(TraceEvent::TriggerAdmitted { rule: rule_idx });
+            }
             self.approx_bytes +=
                 approx_identity_bytes(key_len) + approx_trigger_bytes(subst.len());
             self.queue.push_back(Trigger { rule: rule_idx, subst });
         } else {
             self.stats.triggers_deduped += 1;
+            if let Some(t) = &mut self.trace {
+                t.core(TraceEvent::TriggerDeduped { rule: rule_idx });
+            }
         }
     }
 
@@ -345,6 +430,9 @@ impl<'p> ChaseMachine<'p> {
             && exists_extension(rule.head(), rule.var_count(), &self.instance, &trigger.subst)
         {
             self.stats.satisfied_skips += 1;
+            if let Some(t) = &mut self.trace {
+                t.core(TraceEvent::TriggerSkipped { rule: trigger.rule });
+            }
             true
         } else {
             false
@@ -441,6 +529,7 @@ impl<'p> ChaseMachine<'p> {
         };
 
         let mut new_atoms = Vec::new();
+        let mut duplicates = 0usize;
         for head_atom in rule.head() {
             let image = subst.apply_atom(head_atom);
             debug_assert!(image.is_ground());
@@ -455,6 +544,24 @@ impl<'p> ChaseMachine<'p> {
                 new_atoms.push(id);
             } else {
                 self.stats.duplicate_atoms += 1;
+                duplicates += 1;
+            }
+        }
+
+        if let Some(t) = &mut self.trace {
+            t.core(TraceEvent::Applied {
+                app: seq,
+                rule: trigger.rule,
+                new_atoms: new_atoms.len(),
+                duplicates,
+            });
+            for &id in &new_atoms {
+                t.core(TraceEvent::AtomInserted {
+                    atom: id.index() as u32,
+                    pred: self.instance.atom(id).pred.0,
+                    rule: trigger.rule,
+                    app: seq,
+                });
             }
         }
 
@@ -496,6 +603,11 @@ impl<'p> ChaseMachine<'p> {
     /// stops at a step boundary, so the instance, queue, and derivation DAG
     /// stay consistent (and snapshot-able) whatever the reason.
     pub fn run(&mut self, budget: &Budget) -> StopReason {
+        let stop = self.run_loop(budget);
+        self.finish(stop)
+    }
+
+    fn run_loop(&mut self, budget: &Budget) -> StopReason {
         let start = Instant::now();
         // Wall-clock and memory are polled every `PERIOD` applications;
         // both are cheap, but not hot-loop cheap on microsecond steps.
@@ -523,11 +635,31 @@ impl<'p> ChaseMachine<'p> {
                         return self.boundary(StopReason::Memory);
                     }
                 }
+                self.poll_progress();
             }
             if self.step().is_none() {
                 return StopReason::Saturated;
             }
         }
+    }
+
+    /// Closes a run for tracing purposes: a guardrail stop is noted as a
+    /// guard-trip execution event, every stop as a lifecycle stop event,
+    /// and the sink is flushed. State is untouched, so calling `run` again
+    /// (a new leg of the same machine) simply appends to the trace.
+    pub(crate) fn finish(&mut self, stop: StopReason) -> StopReason {
+        if let Some(t) = &mut self.trace {
+            if stop != StopReason::Saturated {
+                t.note(TraceEvent::GuardTrip { reason: stop });
+            }
+            t.note(TraceEvent::Stop {
+                reason: stop,
+                applications: self.stats.applications,
+                atoms: self.instance.len(),
+            });
+            t.flush();
+        }
+        stop
     }
 
     /// A guardrail tripped — but if no trigger is pending the chase in fact

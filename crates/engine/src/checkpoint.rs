@@ -234,6 +234,8 @@ impl Checkpoint {
             approx_bytes: atom_bytes + queue_bytes + seen_bytes,
             cancel: None,
             round_stats: crate::round::RoundStats::default(),
+            trace: None,
+            progress: None,
         })
     }
 

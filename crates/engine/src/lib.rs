@@ -29,8 +29,10 @@ pub mod core_min;
 pub mod derivation;
 pub mod dot;
 pub mod guard;
+pub mod metrics;
 pub mod query;
 pub mod round;
+pub mod trace;
 pub mod variant;
 
 pub use chase::{
@@ -43,6 +45,11 @@ pub use core_chase::{core_chase, CoreChaseOutcome, CoreChaseResult};
 pub use core_min::{core_of, instances_isomorphic, MAX_CORE_NULLS};
 pub use derivation::{Application, DerivationDag};
 pub use dot::derivation_to_dot;
+pub use metrics::{Histogram, MetricsRegistry, MetricsSink, RuleMetrics};
 pub use query::{certain_answers, certainly_holds, ConjunctiveQuery, QueryError};
 pub use round::RoundStats;
+pub use trace::{
+    core_seq, validate_trace_line, JsonlSink, MultiSink, ProgressReport, TraceEvent,
+    TraceSink,
+};
 pub use variant::ChaseVariant;

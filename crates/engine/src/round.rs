@@ -57,6 +57,7 @@ use chasekit_core::{AtomId, Instance, InstanceView, Program, Substitution};
 
 use crate::chase::{matches_pinned, ChaseMachine, Scheduling};
 use crate::guard::{Budget, CancelToken, StopReason};
+use crate::trace::TraceEvent;
 
 /// Counters describing the round structure of a parallel run.
 ///
@@ -86,6 +87,17 @@ struct WorkItem {
     atom: AtomId,
     horizon: usize,
     rule: usize,
+}
+
+/// Per-slot record of one phase-1 dequeue, kept only when a trace sink is
+/// installed. Emission is suppressed during the apply phase (the handle is
+/// taken off the machine) and replayed at the merge, interleaved with that
+/// application's admissions — reproducing the sequential machine's event
+/// order exactly, so traced parallel runs emit a byte-identical core
+/// stream.
+enum SlotTrace {
+    Skipped { rule: usize },
+    Applied { app: u64, rule: usize, new_atoms: Vec<AtomId>, duplicates: u64 },
 }
 
 /// Deadline/cancellation probe shared with the discovery workers.
@@ -177,7 +189,11 @@ impl ChaseMachine<'_> {
             return self.run(budget);
         }
         self.round_stats.threads = threads;
+        let stop = self.run_rounds(budget, threads);
+        self.finish(stop)
+    }
 
+    fn run_rounds(&mut self, budget: &Budget, threads: usize) -> StopReason {
         let start = Instant::now();
         let deadline = budget.max_wall.map(|w| start + w);
         // Same wall/memory polling cadence as the sequential hot loop.
@@ -190,6 +206,17 @@ impl ChaseMachine<'_> {
             self.round_stats.rounds += 1;
             let frontier = self.queue.len();
             self.round_stats.max_frontier = self.round_stats.max_frontier.max(frontier);
+            if let Some(t) = &mut self.trace {
+                t.note(TraceEvent::RoundOpen { round: self.round_stats.rounds, frontier });
+            }
+            // Suppress core-event emission during the apply phase: the
+            // sequential stream interleaves each application's events with
+            // the admissions it discovers, which in round mode only exist
+            // after phase 2. Phase 1 logs its slots and the merge replays
+            // them (see `SlotTrace`).
+            let trace = self.trace.take();
+            let tracing = trace.is_some();
+            let mut round_log: Vec<SlotTrace> = Vec::new();
             let mut remaining = frontier;
             let mut pending_stop: Option<StopReason> = None;
             // One entry per application of this round: the atoms it added
@@ -226,6 +253,7 @@ impl ChaseMachine<'_> {
                             break;
                         }
                     }
+                    self.poll_progress();
                 }
                 // Pop (skipping satisfied restricted triggers) until one
                 // trigger applies or the frontier is exhausted.
@@ -236,9 +264,22 @@ impl ChaseMachine<'_> {
                     remaining -= 1;
                     let trigger = self.next_trigger().expect("frontier is non-empty");
                     if self.skip_if_satisfied(&trigger) {
+                        if tracing {
+                            round_log.push(SlotTrace::Skipped { rule: trigger.rule });
+                        }
                         continue;
                     }
+                    let rule = trigger.rule;
+                    let dup_before = self.stats.duplicate_atoms;
                     let event = self.apply_core(trigger);
+                    if tracing {
+                        round_log.push(SlotTrace::Applied {
+                            app: event.seq,
+                            rule,
+                            new_atoms: event.new_atoms.clone(),
+                            duplicates: self.stats.duplicate_atoms - dup_before,
+                        });
+                    }
                     if !event.new_atoms.is_empty() {
                         batches.push((event.new_atoms, self.instance.len()));
                     }
@@ -251,7 +292,11 @@ impl ChaseMachine<'_> {
             // order. Rules whose bodies never mention the new atom's
             // predicate match emptily and are pre-filtered.
             let mut items: Vec<WorkItem> = Vec::new();
+            // Item index range of each batch, so the traced merge can
+            // interleave admissions with their producing application.
+            let mut batch_ranges: Vec<(usize, usize)> = Vec::with_capacity(batches.len());
             for (new_atoms, horizon) in &batches {
+                let lo = items.len();
                 for &atom in new_atoms {
                     let pred = self.instance.atom(atom).pred;
                     for (rule_idx, rule) in self.program.rules().iter().enumerate() {
@@ -260,6 +305,7 @@ impl ChaseMachine<'_> {
                         }
                     }
                 }
+                batch_ranges.push((lo, items.len()));
             }
             self.round_stats.work_items += items.len() as u64;
 
@@ -272,7 +318,7 @@ impl ChaseMachine<'_> {
             // same code in the same item order, so the choice is invisible
             // to the result.
             let fan = threads.min(items.len() / 2);
-            let results: Vec<Vec<Substitution>> = if fan < 2 {
+            let mut results: Vec<Vec<Substitution>> = if fan < 2 {
                 items
                     .iter()
                     .map(|item| {
@@ -284,10 +330,65 @@ impl ChaseMachine<'_> {
                 self.round_stats.parallel_rounds += 1;
                 discover_parallel(self.program, &self.instance, &items, fan, &probe, &observed)
             };
-            for (item, homs) in items.iter().zip(results) {
-                for subst in homs {
-                    self.admit_trigger(item.rule, subst);
+            self.trace = trace;
+            if self.trace.is_some() {
+                // Traced merge: replay each slot's suppressed events, then
+                // admit that application's discoveries — the sequential
+                // machine's exact emission order, through the same
+                // dedup-and-admit path.
+                let mut next_batch = 0;
+                for slot in round_log {
+                    match slot {
+                        SlotTrace::Skipped { rule } => {
+                            if let Some(t) = &mut self.trace {
+                                t.core(TraceEvent::TriggerSkipped { rule });
+                            }
+                        }
+                        SlotTrace::Applied { app, rule, new_atoms, duplicates } => {
+                            if let Some(t) = &mut self.trace {
+                                t.core(TraceEvent::Applied {
+                                    app,
+                                    rule,
+                                    new_atoms: new_atoms.len(),
+                                    duplicates: duplicates as usize,
+                                });
+                            }
+                            for &id in &new_atoms {
+                                let pred = self.instance.atom(id).pred.0;
+                                if let Some(t) = &mut self.trace {
+                                    t.core(TraceEvent::AtomInserted {
+                                        atom: id.index() as u32,
+                                        pred,
+                                        rule,
+                                        app,
+                                    });
+                                }
+                            }
+                            if !new_atoms.is_empty() {
+                                let (lo, hi) = batch_ranges[next_batch];
+                                next_batch += 1;
+                                for idx in lo..hi {
+                                    for subst in std::mem::take(&mut results[idx]) {
+                                        self.admit_trigger(items[idx].rule, subst);
+                                    }
+                                }
+                            }
+                        }
+                    }
                 }
+            } else {
+                for (item, homs) in items.iter().zip(results) {
+                    for subst in homs {
+                        self.admit_trigger(item.rule, subst);
+                    }
+                }
+            }
+            if let Some(t) = &mut self.trace {
+                t.note(TraceEvent::RoundClose {
+                    round: self.round_stats.rounds,
+                    work_items: items.len(),
+                    workers: if fan < 2 { 1 } else { fan },
+                });
             }
 
             if let Some(stop) = pending_stop {

@@ -50,7 +50,7 @@ pub use linear::{
     LinearAnalysis, LinearDecision, LinearError,
 };
 pub use looping::{chain_instance, PropositionalProgram};
-pub use mfa::{is_mfa, mfa_status, MfaStatus};
+pub use mfa::{is_mfa, mfa_report, mfa_status, MfaReport, MfaStatus};
 pub use restricted::{
     is_single_head_linear, restricted_verdict, single_head_linear_restricted_terminates,
     RestrictedMethod, RestrictedVerdict,

@@ -46,8 +46,27 @@ impl MfaStatus {
     }
 }
 
+/// The MFA verdict plus the work the check performed: how far the Skolem
+/// chase of the critical instance ran before deciding. Lets experiments
+/// report checker effort, not just outcomes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MfaReport {
+    /// The verdict.
+    pub status: MfaStatus,
+    /// Chase applications performed on the critical instance.
+    pub applications: u64,
+    /// Atoms in the critical-instance chase when the check decided.
+    pub atoms: usize,
+}
+
 /// Checks model-faithful acyclicity with the given fuel.
 pub fn mfa_status(program: &Program, budget: &Budget) -> MfaStatus {
+    mfa_report(program, budget).status
+}
+
+/// Like [`mfa_status`], but also reports how much chase work the check
+/// performed before deciding.
+pub fn mfa_report(program: &Program, budget: &Budget) -> MfaReport {
     let mut program = program.clone();
     let crit = CriticalInstance::build(&mut program);
     let mut machine = ChaseMachine::new(
@@ -55,22 +74,27 @@ pub fn mfa_status(program: &Program, budget: &Budget) -> MfaStatus {
         ChaseConfig::of(ChaseVariant::SemiOblivious).with_skolem(),
         crit.instance,
     );
-    loop {
+    let status = loop {
         if machine.skolem_cyclic().is_some() {
-            return MfaStatus::NotMfa;
+            break MfaStatus::NotMfa;
         }
         if machine.stats().applications >= budget.max_applications
             || machine.instance().len() >= budget.max_atoms
         {
-            return MfaStatus::Unknown;
+            break MfaStatus::Unknown;
         }
         if machine.step().is_none() {
-            return if machine.skolem_cyclic().is_some() {
+            break if machine.skolem_cyclic().is_some() {
                 MfaStatus::NotMfa
             } else {
                 MfaStatus::Mfa
             };
         }
+    };
+    MfaReport {
+        status,
+        applications: machine.stats().applications,
+        atoms: machine.instance().len(),
     }
 }
 
@@ -178,5 +202,19 @@ mod tests {
         let p = parse("p(X) -> q(X, Z). q(X, Z) -> p(Z).");
         let status = mfa_status(&p, &Budget::applications(1));
         assert_eq!(status, MfaStatus::Unknown);
+    }
+
+    #[test]
+    fn mfa_report_counts_checker_work() {
+        let p = parse("p(X, Y) -> q(X, Y).");
+        let report = mfa_report(&p, &Budget::default());
+        assert_eq!(report.status, MfaStatus::Mfa);
+        assert!(report.applications >= 1, "the copy rule fires on the critical instance");
+        assert!(report.atoms >= 2);
+
+        let diverging = parse("person(X) -> hasFather(X, Y), person(Y).");
+        let report = mfa_report(&diverging, &Budget::default());
+        assert_eq!(report.status, MfaStatus::NotMfa);
+        assert!(report.applications >= 2, "nesting f(f(a)) needs at least two firings");
     }
 }

@@ -7,7 +7,7 @@
 //! chasekit explain   <rules-file> [--variant o|so]
 //! chasekit chase     <rules-file> [--variant o|so|restricted] [--steps N] [--dot FILE]
 //!                    [--timeout-ms N] [--max-atoms-mem BYTES] [--checkpoint FILE]
-//!                    [--threads N]
+//!                    [--threads N] [--trace FILE] [--metrics FILE] [--progress SECS]
 //! chasekit critical  <rules-file> [--standard]
 //! ```
 //!
@@ -25,7 +25,9 @@
 use std::process::ExitCode;
 
 use chasekit::core::display::{instance_to_string, rule_to_string};
-use chasekit::engine::{Checkpoint, StopReason};
+use chasekit::engine::{
+    Checkpoint, JsonlSink, MetricsSink, MultiSink, StopReason, TraceEvent, TraceSink,
+};
 use chasekit::prelude::*;
 
 const USAGE: &str = "usage: chasekit <classify|conditions|decide|explain|chase|critical> <rules-file> [options]
@@ -42,6 +44,13 @@ options:
   --threads N                 (chase) worker threads for parallel-round
                               execution (default: 1 = sequential); results
                               are bit-identical at every thread count
+  --trace FILE                (chase) write a JSONL event trace; composes
+                              with --checkpoint (sequence numbers continue
+                              across resume) and every --threads count
+  --metrics FILE              (chase) write a metrics-registry JSON report
+                              (counters, histograms, per-rule/per-predicate)
+  --progress SECS             (chase) print a progress line to stderr at
+                              most every SECS seconds (SECS >= 1)
 exit codes (chase): 0 saturated, 10 applications, 11 atoms, 12 wall-clock,
                     13 memory, 14 cancelled";
 
@@ -64,6 +73,9 @@ struct Args {
     max_mem: Option<usize>,
     checkpoint: Option<String>,
     threads: usize,
+    trace: Option<String>,
+    metrics: Option<String>,
+    progress: Option<u64>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -89,6 +101,9 @@ fn parse_args() -> Result<Args, String> {
         max_mem: None,
         checkpoint: None,
         threads: 1,
+        trace: None,
+        metrics: None,
+        progress: None,
     };
     // A flag's value, or a named error if the command line ends first.
     fn value(argv: &mut impl Iterator<Item = String>, flag: &str) -> Result<String, String> {
@@ -130,6 +145,17 @@ fn parse_args() -> Result<Args, String> {
                 if out.threads == 0 {
                     return Err("`--threads` expects a positive integer, got `0`".to_string());
                 }
+            }
+            "--trace" => out.trace = Some(value(&mut argv, "--trace")?),
+            "--metrics" => out.metrics = Some(value(&mut argv, "--metrics")?),
+            "--progress" => {
+                let secs: u64 = number(&mut argv, "--progress")?;
+                if secs == 0 {
+                    return Err(
+                        "`--progress` expects a positive number of seconds, got `0`".to_string()
+                    );
+                }
+                out.progress = Some(secs);
             }
             other => return Err(format!("unknown flag `{other}`")),
         }
@@ -189,16 +215,35 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "conditions" => {
-            println!("weak acyclicity (WA):   {}", is_weakly_acyclic(&program));
-            println!("rich acyclicity (RA):   {}", is_richly_acyclic(&program));
+            use chasekit::acyclicity::{check_with_work, GraphKind};
+            use chasekit::termination::mfa_report;
+            let (wa, wa_work) = check_with_work(&program, GraphKind::Standard);
+            let (ra, ra_work) = check_with_work(&program, GraphKind::Extended);
+            println!(
+                "weak acyclicity (WA):   {} [{} nodes, {} edges, {} special]",
+                wa.is_acyclic(),
+                wa_work.nodes,
+                wa_work.edges,
+                wa_work.special_edges
+            );
+            println!(
+                "rich acyclicity (RA):   {} [{} nodes, {} edges, {} special]",
+                ra.is_acyclic(),
+                ra_work.nodes,
+                ra_work.edges,
+                ra_work.special_edges
+            );
             println!("joint acyclicity (JA):  {}", is_jointly_acyclic(&program));
             println!("aGRD:                   {}", is_grd_acyclic(&program));
+            let mfa = mfa_report(&program, &Budget::default());
             println!(
-                "MFA:                    {}",
-                match is_mfa(&program) {
+                "MFA:                    {} [{} applications, {} atoms]",
+                match mfa.status.is_mfa() {
                     Some(b) => b.to_string(),
                     None => "unknown (fuel)".to_string(),
-                }
+                },
+                mfa.applications,
+                mfa.atoms
             );
             ExitCode::SUCCESS
         }
@@ -227,6 +272,46 @@ fn main() -> ExitCode {
                 cfg = cfg.with_derivation();
             }
 
+            // Observability outputs are opened before any chase work so a
+            // bad path fails fast (exit 1), not after a long run.
+            let trace_out = match &args.trace {
+                Some(path) => match std::fs::File::create(path) {
+                    Ok(f) => Some(std::io::BufWriter::new(f)),
+                    Err(e) => {
+                        eprintln!("cannot create trace file {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                },
+                None => None,
+            };
+            let mut metrics_file = match &args.metrics {
+                Some(path) => match std::fs::File::create(path) {
+                    Ok(f) => Some(f),
+                    Err(e) => {
+                        eprintln!("cannot create metrics file {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                },
+                None => None,
+            };
+            let mut sinks: Vec<Box<dyn TraceSink>> = Vec::new();
+            if let Some(out) = trace_out {
+                sinks.push(Box::new(JsonlSink::new(out, &program)));
+            }
+            let registry = if metrics_file.is_some() {
+                let ms = MetricsSink::new(&program);
+                let reg = ms.registry();
+                sinks.push(Box::new(ms));
+                Some(reg)
+            } else {
+                None
+            };
+            let sink: Option<Box<dyn TraceSink>> = match sinks.len() {
+                0 => None,
+                1 => sinks.pop(),
+                _ => Some(Box::new(MultiSink::new(sinks))),
+            };
+
             // Resume from a checkpoint file when one exists; otherwise start
             // fresh (from the file's facts or the critical instance).
             let resumed = match &args.checkpoint {
@@ -251,13 +336,23 @@ fn main() -> ExitCode {
 
             let mut machine = match &resumed {
                 Some(snap) => match snap.resume(&program) {
-                    Ok(m) => {
+                    Ok(mut m) => {
                         println!(
                             "(resuming from checkpoint: {} applications, {} atoms, {} pending)",
                             snap.stats().applications,
                             snap.atoms(),
                             snap.pending()
                         );
+                        if let Some(sink) = sink {
+                            // Sequence numbers continue from the restored
+                            // stats (see `engine::trace::core_seq`).
+                            m.set_trace_sink(sink);
+                            m.trace_note(TraceEvent::CheckpointResume {
+                                applications: snap.stats().applications,
+                                atoms: snap.atoms(),
+                                pending: snap.pending(),
+                            });
+                        }
                         m
                     }
                     Err(e) => {
@@ -272,9 +367,29 @@ fn main() -> ExitCode {
                     } else {
                         Instance::from_atoms(program.facts().iter().cloned())
                     };
-                    ChaseMachine::new(&program, cfg, initial)
+                    match sink {
+                        Some(sink) => ChaseMachine::new_with_trace(&program, cfg, initial, sink),
+                        None => ChaseMachine::new(&program, cfg, initial),
+                    }
                 }
             };
+            if let Some(secs) = args.progress {
+                machine.set_progress(
+                    std::time::Duration::from_secs(secs),
+                    Box::new(|r| {
+                        eprintln!(
+                            "progress: {} applications, {} atoms, {} pending, ~{} KiB, \
+                             {:.0} apps/s ({:.0}s elapsed)",
+                            r.applications,
+                            r.atoms,
+                            r.pending,
+                            r.approx_bytes / 1024,
+                            r.apps_per_sec,
+                            r.elapsed_secs
+                        );
+                    }),
+                );
+            }
 
             let mut budget = Budget::applications(args.steps);
             if let Some(ms) = args.timeout_ms {
@@ -306,6 +421,9 @@ fn main() -> ExitCode {
                         eprintln!("cannot write checkpoint {path}: {e}");
                         return ExitCode::FAILURE;
                     }
+                    let (applications, atoms, pending) =
+                        (machine.stats().applications, machine.instance().len(), machine.pending());
+                    machine.trace_note(TraceEvent::CheckpointWrite { applications, atoms, pending });
                     println!("checkpoint written to {path} (rerun to continue)");
                 } else if std::path::Path::new(path).exists() {
                     // The run finished: a stale checkpoint would silently
@@ -327,6 +445,18 @@ fn main() -> ExitCode {
                 }
                 println!("derivation DAG written to {path}");
             }
+            machine.flush_trace();
+            if let (Some(path), Some(registry)) = (&args.metrics, &registry) {
+                use std::io::Write as _;
+                let json = registry.lock().expect("metrics registry poisoned").to_json();
+                let mut file = metrics_file.take().expect("metrics file was opened");
+                if let Err(e) = file.write_all(json.as_bytes()) {
+                    eprintln!("cannot write metrics file {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("metrics written to {path}");
+            }
+
             print!("{}", instance_to_string(machine.instance(), &program.vocab));
             match outcome {
                 StopReason::Saturated => ExitCode::SUCCESS,

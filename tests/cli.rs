@@ -459,3 +459,195 @@ fn checkpoint_from_a_different_program_is_refused() {
     assert!(stderr.contains("different program"), "{stderr}");
     let _ = std::fs::remove_file(&ckpt);
 }
+
+#[test]
+fn trace_flag_without_a_path_is_named_in_the_error() {
+    let path = write_rules("trace-noval.rules", "p(X) -> q(X).");
+    let (_, stderr, code) = run(&["chase", path.to_str().unwrap(), "--trace"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("--trace"), "{stderr}");
+    assert!(stderr.contains("requires a value"), "{stderr}");
+}
+
+#[test]
+fn progress_zero_and_non_numeric_are_named_in_the_error() {
+    let path = write_rules("progress-bad.rules", "p(X) -> q(X).");
+    let (_, stderr, code) = run(&["chase", path.to_str().unwrap(), "--progress", "0"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("--progress"), "{stderr}");
+    assert!(stderr.contains("0"), "{stderr}");
+    let (_, stderr, code) = run(&["chase", path.to_str().unwrap(), "--progress", "often"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("--progress"), "{stderr}");
+    assert!(stderr.contains("often"), "{stderr}");
+}
+
+#[test]
+fn unwritable_trace_and_metrics_files_exit_1() {
+    let path = write_rules("trace-unwritable.rules", "p(a). p(X) -> q(X).");
+    let (_, stderr, code) = run(&[
+        "chase",
+        path.to_str().unwrap(),
+        "--trace",
+        "/nonexistent-dir/out.jsonl",
+    ]);
+    assert_eq!(code, Some(1), "{stderr}");
+    assert!(stderr.contains("cannot create trace file"), "{stderr}");
+    let (_, stderr, code) = run(&[
+        "chase",
+        path.to_str().unwrap(),
+        "--metrics",
+        "/nonexistent-dir/metrics.json",
+    ]);
+    assert_eq!(code, Some(1), "{stderr}");
+    assert!(stderr.contains("cannot create metrics file"), "{stderr}");
+}
+
+#[test]
+fn traced_chase_output_is_identical_to_untraced() {
+    let path = write_rules(
+        "trace-free.rules",
+        "e(a, b). e(X, Y) -> e(Y, Z). e(X, Y) -> f(Y, W). f(X, Y) -> e(Y, Z).",
+    );
+    let trace = std::env::temp_dir().join("chasekit-cli-tests").join("free.jsonl");
+    let (plain_out, _, plain_code) =
+        run(&["chase", path.to_str().unwrap(), "--steps", "80"]);
+    for threads in ["1", "4"] {
+        let (traced_out, _, traced_code) = run(&[
+            "chase",
+            path.to_str().unwrap(),
+            "--steps",
+            "80",
+            "--threads",
+            threads,
+            "--trace",
+            trace.to_str().unwrap(),
+        ]);
+        assert_eq!(traced_code, plain_code, "--threads {threads}");
+        // Tracing must not perturb the run: the whole printed report —
+        // outcome counters and every atom — matches byte for byte.
+        assert_eq!(traced_out, plain_out, "--threads {threads}");
+        let text = std::fs::read_to_string(&trace).unwrap();
+        for line in text.lines() {
+            chasekit::engine::validate_trace_line(line)
+                .unwrap_or_else(|e| panic!("--threads {threads}: `{line}`: {e}"));
+        }
+    }
+    let _ = std::fs::remove_file(&trace);
+}
+
+#[test]
+fn metrics_file_reconciles_with_the_printed_outcome() {
+    let path = write_rules("metrics.rules", "p(a, b). p(X, Y) -> p(Y, Z).");
+    let metrics = std::env::temp_dir().join("chasekit-cli-tests").join("metrics.json");
+    let (stdout, _, code) = run(&[
+        "chase",
+        path.to_str().unwrap(),
+        "--steps",
+        "25",
+        "--metrics",
+        metrics.to_str().unwrap(),
+    ]);
+    assert_eq!(code, Some(10), "{stdout}");
+    assert!(stdout.contains("metrics written"), "{stdout}");
+    let json = std::fs::read_to_string(&metrics).unwrap();
+    assert!(json.contains("\"chase.applications\": 25"), "{json}");
+    assert!(json.contains("\"stops.applications\": 1"), "{json}");
+    assert!(json.contains("\"per_rule\""), "{json}");
+    assert!(json.contains("p(X, Y) -> p(Y, Z)."), "{json}");
+    let _ = std::fs::remove_file(&metrics);
+}
+
+/// The ISSUE's acceptance bar for `--trace` + `--checkpoint`: the traces
+/// of an interrupted run and its resumed leg, concatenated, carry exactly
+/// the core events (with the same contiguous sequence numbers) of one
+/// straight run. Lifecycle records differ legitimately — the interrupted
+/// leg has a mid-stream `stop` and `ckpt-write`, the resumed leg a
+/// `ckpt-resume` — so the comparison filters to core events.
+#[test]
+fn trace_with_checkpoint_resume_is_contiguous_with_a_straight_run() {
+    let rules = "p(a, b). p(X, Y) -> p(Y, Z).";
+    let path = write_rules("trace-ckpt.rules", rules);
+    let dir = std::env::temp_dir().join("chasekit-cli-tests");
+    let ckpt = dir.join("trace.ckpt");
+    let t_straight = dir.join("straight.jsonl");
+    let t_leg1 = dir.join("leg1.jsonl");
+    let t_leg2 = dir.join("leg2.jsonl");
+    let _ = std::fs::remove_file(&ckpt);
+
+    let (_, _, code) = run(&[
+        "chase",
+        path.to_str().unwrap(),
+        "--steps",
+        "60",
+        "--trace",
+        t_straight.to_str().unwrap(),
+    ]);
+    assert_eq!(code, Some(10));
+
+    let (_, _, code) = run(&[
+        "chase",
+        path.to_str().unwrap(),
+        "--steps",
+        "30",
+        "--checkpoint",
+        ckpt.to_str().unwrap(),
+        "--trace",
+        t_leg1.to_str().unwrap(),
+    ]);
+    assert_eq!(code, Some(10));
+    let (stdout, _, code) = run(&[
+        "chase",
+        path.to_str().unwrap(),
+        "--steps",
+        "60",
+        "--threads",
+        "4",
+        "--checkpoint",
+        ckpt.to_str().unwrap(),
+        "--trace",
+        t_leg2.to_str().unwrap(),
+    ]);
+    assert_eq!(code, Some(10), "{stdout}");
+    assert!(stdout.contains("resuming from checkpoint"), "{stdout}");
+
+    let core_lines = |path: &std::path::Path| -> Vec<String> {
+        std::fs::read_to_string(path)
+            .unwrap()
+            .lines()
+            .filter(|line| {
+                let kind = chasekit::engine::validate_trace_line(line)
+                    .unwrap_or_else(|e| panic!("`{line}`: {e}"));
+                !matches!(kind, "stop" | "ckpt-write" | "ckpt-resume")
+            })
+            .map(str::to_string)
+            .collect()
+    };
+    let mut relay = core_lines(&t_leg1);
+    relay.extend(core_lines(&t_leg2));
+    assert_eq!(relay, core_lines(&t_straight));
+
+    // The lifecycle records are present where expected.
+    let leg1 = std::fs::read_to_string(&t_leg1).unwrap();
+    assert!(leg1.contains("\"ev\":\"ckpt-write\""), "{leg1}");
+    let leg2 = std::fs::read_to_string(&t_leg2).unwrap();
+    assert!(leg2.starts_with("{\"seq\":"), "{leg2}");
+    assert!(leg2.contains("\"ev\":\"ckpt-resume\""), "{leg2}");
+
+    for f in [&ckpt, &t_straight, &t_leg1, &t_leg2] {
+        let _ = std::fs::remove_file(f);
+    }
+}
+
+#[test]
+fn conditions_reports_checker_work_counts() {
+    let path = write_rules("conds-work.rules", "p(X, Y) -> p(Y, Z).");
+    let (stdout, _, code) = run(&["conditions", path.to_str().unwrap()]);
+    assert_eq!(code, Some(0));
+    // WA graph of Example 2: 2 nodes, 2 edges, 1 special.
+    assert!(stdout.contains("[2 nodes, 2 edges, 1 special]"), "{stdout}");
+    // RA (extended) graph adds one special edge.
+    assert!(stdout.contains("[2 nodes, 3 edges, 2 special]"), "{stdout}");
+    // MFA reports how far the critical-instance chase ran.
+    assert!(stdout.contains("applications,"), "{stdout}");
+}
