@@ -236,6 +236,7 @@ impl Checkpoint {
             round_stats: crate::round::RoundStats::default(),
             trace: None,
             progress: None,
+            journal: None,
         })
     }
 
@@ -318,23 +319,37 @@ impl Checkpoint {
             out.push('\n');
         }
         out.push_str("end\n");
+        // Integrity trailer: CRC32 over every byte above, so recovery can
+        // tell a corrupted snapshot from a valid one (not just a torn one).
+        let crc = crate::journal::crc32(out.as_bytes());
+        out.push_str(&format!("crc {crc:08x}\n"));
         Ok(out)
     }
 
     /// Parses the text format produced by [`Checkpoint::to_text`].
+    ///
+    /// Strict in both directions: every parse error names the offending
+    /// line, a `crc` trailer (written by every current [`to_text`](Self::to_text))
+    /// is verified against the content, and any bytes after the final
+    /// section are rejected as trailing garbage.
     pub fn from_text(text: &str) -> Result<Checkpoint, CheckpointError> {
-        let mut lines = text.lines().enumerate();
+        let all: Vec<&str> = text.lines().collect();
+        let mut idx = 0usize;
         let mut next = |what: &str| -> Result<(usize, &str), CheckpointError> {
-            lines
-                .next()
-                .map(|(i, l)| (i + 1, l))
-                .ok_or_else(|| CheckpointError::Parse(format!("unexpected end of file, expected {what}")))
+            if idx >= all.len() {
+                return Err(CheckpointError::Parse(format!(
+                    "line {}: unexpected end of file, expected {what}",
+                    all.len() + 1
+                )));
+            }
+            idx += 1;
+            Ok((idx, all[idx - 1]))
         };
 
         let (_, header) = next("header")?;
         if header.trim() != "chasekit-checkpoint v1" {
             return Err(CheckpointError::Parse(format!(
-                "bad header {header:?} (expected \"chasekit-checkpoint v1\")"
+                "line 1: bad header {header:?} (expected \"chasekit-checkpoint v1\")"
             )));
         }
 
@@ -484,6 +499,38 @@ impl Checkpoint {
         let (n, l) = next("end line")?;
         if l.trim() != "end" {
             return Err(bad(n, l, "end"));
+        }
+        let mut pos = n; // 0-based index of the line after `end`
+
+        // Integrity trailer (optional on input for pre-trailer files):
+        // CRC32 over everything through the `end` line.
+        if pos < all.len() && all[pos].starts_with("crc") {
+            let lineno = pos + 1;
+            let l = all[pos];
+            let want = l
+                .strip_prefix("crc ")
+                .and_then(|r| u32::from_str_radix(r.trim(), 16).ok())
+                .ok_or_else(|| bad(lineno, l, "crc <hex>"))?;
+            // `to_text` writes `\n` endings, so the joined lines reproduce
+            // the hashed bytes exactly; anything else (e.g. `\r\n`) is not
+            // a file we wrote and fails the check as corruption.
+            let mut covered = all[..pos].join("\n");
+            covered.push('\n');
+            let got = crate::journal::crc32(covered.as_bytes());
+            if got != want {
+                return Err(CheckpointError::Parse(format!(
+                    "line {lineno}: checkpoint CRC mismatch (trailer {want:08x}, content {got:08x})"
+                )));
+            }
+            pos += 1;
+        }
+
+        if pos < all.len() {
+            return Err(CheckpointError::Parse(format!(
+                "line {}: trailing garbage after checkpoint end: {:?}",
+                pos + 1,
+                all[pos]
+            )));
         }
 
         Ok(Checkpoint {

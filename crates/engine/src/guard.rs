@@ -112,6 +112,9 @@ pub enum StopReason {
     Memory,
     /// A [`CancelToken`] was triggered.
     Cancelled,
+    /// A durability write (journal append or sync) failed; the run stopped
+    /// at a step boundary rather than chase on with an incomplete journal.
+    Io,
 }
 
 impl StopReason {
@@ -136,6 +139,7 @@ impl StopReason {
             StopReason::WallClock => "wall-clock",
             StopReason::Memory => "memory",
             StopReason::Cancelled => "cancelled",
+            StopReason::Io => "io",
         }
     }
 }
@@ -234,11 +238,13 @@ mod tests {
             StopReason::WallClock,
             StopReason::Memory,
             StopReason::Cancelled,
+            StopReason::Io,
         ] {
             assert!(r.exhausted(), "{r}");
             assert!(!r.is_saturated(), "{r}");
         }
         assert_eq!(StopReason::WallClock.to_string(), "wall-clock");
+        assert_eq!(StopReason::Io.to_string(), "io");
     }
 
     #[test]

@@ -28,7 +28,9 @@ pub mod core_chase;
 pub mod core_min;
 pub mod derivation;
 pub mod dot;
+pub mod failpoint;
 pub mod guard;
+pub mod journal;
 pub mod metrics;
 pub mod query;
 pub mod round;
@@ -41,6 +43,9 @@ pub use chase::{
 };
 pub use checkpoint::{Checkpoint, CheckpointError};
 pub use guard::{Budget, CancelToken, StopReason};
+pub use journal::{
+    needs_recovery, recover, write_snapshot_atomic, JournalWriter, RecoveryReport,
+};
 pub use core_chase::{core_chase, CoreChaseOutcome, CoreChaseResult};
 pub use core_min::{core_of, instances_isomorphic, MAX_CORE_NULLS};
 pub use derivation::{Application, DerivationDag};

@@ -143,6 +143,9 @@ fn discover_parallel(
                 if idx >= items.len() {
                     break;
                 }
+                // Failpoint: the crash-recovery suite injects worker
+                // panics here to prove a dead round leaves nothing behind.
+                crate::failpoint::trip(crate::failpoint::points::ROUND_WORKER);
                 let item = items[idx];
                 let view = InstanceView::prefix(instance, item.horizon);
                 let homs = matches_pinned(program, &view, item.rule, item.atom);
@@ -239,6 +242,10 @@ impl ChaseMachine<'_> {
                         pending_stop = Some(StopReason::Cancelled);
                         break;
                     }
+                }
+                if self.journal_failed().is_some() {
+                    pending_stop = Some(StopReason::Io);
+                    break;
                 }
                 if self.stats.applications.is_multiple_of(PERIOD) {
                     if let Some(limit) = budget.max_wall {

@@ -7,6 +7,7 @@
 //! chasekit explain   <rules-file> [--variant o|so]
 //! chasekit chase     <rules-file> [--variant o|so|restricted] [--steps N] [--dot FILE]
 //!                    [--timeout-ms N] [--max-atoms-mem BYTES] [--checkpoint FILE]
+//!                    [--journal FILE] [--checkpoint-every N] [--recover]
 //!                    [--threads N] [--trace FILE] [--metrics FILE] [--progress SECS]
 //! chasekit critical  <rules-file> [--standard]
 //! ```
@@ -19,14 +20,24 @@
 //!
 //! `chase` maps its [`StopReason`] to a distinct exit code so scripts can
 //! tell *why* a run stopped: 0 saturated, 10 application budget, 11 atom
-//! budget, 12 wall-clock deadline, 13 memory ceiling, 14 cancelled.
-//! Argument errors exit 2; file/parse errors exit 1.
+//! budget, 12 wall-clock deadline, 13 memory ceiling, 14 cancelled, 15
+//! durability I/O failure. A successful `--recover` exits 3 (recovered, not
+//! chased). Argument errors exit 2; file/parse errors exit 1.
+//!
+//! ## Fault injection
+//!
+//! The `CHASEKIT_FAILPOINTS` environment variable arms deterministic
+//! faults in the durability layer (see `chasekit::engine::failpoint`), e.g.
+//! `CHASEKIT_FAILPOINTS="journal.append=exit:9@40"` kills the process on
+//! the 40th journal append — the crash-recovery suite drives the binary
+//! this way.
 
 use std::process::ExitCode;
 
 use chasekit::core::display::{instance_to_string, rule_to_string};
 use chasekit::engine::{
-    Checkpoint, JsonlSink, MetricsSink, MultiSink, StopReason, TraceEvent, TraceSink,
+    failpoint, needs_recovery, recover, write_snapshot_atomic, Checkpoint, JournalWriter,
+    JsonlSink, MetricsSink, MultiSink, StopReason, TraceEvent, TraceSink,
 };
 use chasekit::prelude::*;
 
@@ -41,6 +52,15 @@ options:
   --max-atoms-mem BYTES       (chase) approximate memory ceiling in bytes
   --checkpoint FILE           (chase) resume from FILE if present; write the
                               run state back there when a guardrail stops it
+  --journal FILE              (chase) write-ahead journal of applications;
+                              requires --checkpoint. A crash loses at most
+                              the torn final record; recover with --recover
+  --checkpoint-every N        (chase) snapshot + re-base the journal every N
+                              applications; requires --checkpoint
+  --recover                   (chase) recover from --checkpoint + --journal
+                              after a crash: truncate the torn tail, replay
+                              the journal, rewrite a clean snapshot, print a
+                              recovery report, and exit 3 (without chasing)
   --threads N                 (chase) worker threads for parallel-round
                               execution (default: 1 = sequential); results
                               are bit-identical at every thread count
@@ -52,7 +72,8 @@ options:
   --progress SECS             (chase) print a progress line to stderr at
                               most every SECS seconds (SECS >= 1)
 exit codes (chase): 0 saturated, 10 applications, 11 atoms, 12 wall-clock,
-                    13 memory, 14 cancelled";
+                    13 memory, 14 cancelled, 15 durability I/O failure;
+                    3 after a successful --recover";
 
 /// A named argument error: says exactly which argument was bad and why.
 fn arg_error(msg: String) -> ExitCode {
@@ -72,6 +93,9 @@ struct Args {
     timeout_ms: Option<u64>,
     max_mem: Option<usize>,
     checkpoint: Option<String>,
+    journal: Option<String>,
+    checkpoint_every: Option<u64>,
+    recover: bool,
     threads: usize,
     trace: Option<String>,
     metrics: Option<String>,
@@ -100,6 +124,9 @@ fn parse_args() -> Result<Args, String> {
         timeout_ms: None,
         max_mem: None,
         checkpoint: None,
+        journal: None,
+        checkpoint_every: None,
+        recover: false,
         threads: 1,
         trace: None,
         metrics: None,
@@ -140,6 +167,17 @@ fn parse_args() -> Result<Args, String> {
             "--timeout-ms" => out.timeout_ms = Some(number(&mut argv, "--timeout-ms")?),
             "--max-atoms-mem" => out.max_mem = Some(number(&mut argv, "--max-atoms-mem")?),
             "--checkpoint" => out.checkpoint = Some(value(&mut argv, "--checkpoint")?),
+            "--journal" => out.journal = Some(value(&mut argv, "--journal")?),
+            "--checkpoint-every" => {
+                let every: u64 = number(&mut argv, "--checkpoint-every")?;
+                if every == 0 {
+                    return Err(
+                        "`--checkpoint-every` expects a positive integer, got `0`".to_string()
+                    );
+                }
+                out.checkpoint_every = Some(every);
+            }
+            "--recover" => out.recover = true,
             "--threads" => {
                 out.threads = number(&mut argv, "--threads")?;
                 if out.threads == 0 {
@@ -167,7 +205,112 @@ fn parse_args() -> Result<Args, String> {
                 .to_string(),
         );
     }
+    if out.journal.is_some() && out.checkpoint.is_none() {
+        return Err("`--journal` requires `--checkpoint` (the journal replays on top \
+             of the snapshot)"
+            .to_string());
+    }
+    if out.checkpoint_every.is_some() && out.checkpoint.is_none() {
+        return Err("`--checkpoint-every` requires `--checkpoint`".to_string());
+    }
+    if out.recover && (out.checkpoint.is_none() || out.journal.is_none()) {
+        return Err("`--recover` requires both `--checkpoint` and `--journal`".to_string());
+    }
     Ok(out)
+}
+
+/// Syncs the journal, publishes the snapshot crash-atomically, and re-bases
+/// the journal on the new snapshot. The order is the recovery invariant:
+/// the journal always covers at least everything past the published
+/// snapshot, so a kill anywhere in here loses nothing.
+fn write_durable_snapshot(
+    machine: &mut chasekit::engine::ChaseMachine<'_>,
+    checkpoint: &str,
+    journal: Option<&str>,
+) -> Result<(), String> {
+    let text = machine
+        .snapshot()
+        .to_text()
+        .map_err(|e| format!("cannot checkpoint run: {e}"))?;
+    if let Some(mut j) = machine.take_journal() {
+        j.sync().map_err(|e| format!("cannot sync journal {}: {e}", j.path().display()))?;
+    }
+    write_snapshot_atomic(std::path::Path::new(checkpoint), &text)
+        .map_err(|e| format!("cannot write checkpoint {checkpoint}: {e}"))?;
+    if let Some(path) = journal {
+        let j = JournalWriter::for_machine(std::path::Path::new(path), machine)
+            .map_err(|e| format!("cannot re-base journal {path}: {e}"))?;
+        machine.set_journal(j);
+    }
+    Ok(())
+}
+
+/// `chase --recover`: replay the journal atop the last good snapshot,
+/// publish the recovered state, and exit 3 without continuing the chase.
+fn run_recovery(args: &Args, program: &Program) -> ExitCode {
+    let ckpt_path = args.checkpoint.as_deref().expect("validated by parse_args");
+    let journal_path = args.journal.as_deref().expect("validated by parse_args");
+    let snapshot_text = match std::fs::read_to_string(ckpt_path) {
+        Ok(t) => Some(t),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
+        Err(e) => {
+            eprintln!("cannot read checkpoint {ckpt_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let journal_bytes = match std::fs::read(journal_path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => {
+            eprintln!("cannot read journal {journal_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // The pre-first-snapshot genesis state, mirroring a fresh `chase` start.
+    let mut genesis_program = program.clone();
+    let genesis = if genesis_program.facts().is_empty() {
+        CriticalInstance::build(&mut genesis_program).instance
+    } else {
+        Instance::from_atoms(genesis_program.facts().iter().cloned())
+    };
+    let genesis_config = chasekit::engine::ChaseConfig::of(args.variant);
+
+    let (mut machine, report) = match recover(
+        &genesis_program,
+        snapshot_text.as_deref(),
+        &journal_bytes,
+        genesis,
+        genesis_config,
+    ) {
+        Ok(pair) => pair,
+        Err(e) => {
+            eprintln!("cannot recover: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if report.had_snapshot {
+        println!("recovery: snapshot at {} applications", report.snapshot_applications);
+    } else {
+        println!("recovery: no snapshot found, starting from the initial instance");
+    }
+    println!(
+        "recovery: {} journal records replayed ({} already covered by the snapshot), \
+         {} bytes of torn tail truncated",
+        report.records_replayed, report.records_skipped, report.bytes_truncated
+    );
+    println!(
+        "recovered state: {} applications, {} atoms",
+        report.final_applications, report.final_atoms
+    );
+
+    if let Err(msg) = write_durable_snapshot(&mut machine, ckpt_path, Some(journal_path)) {
+        eprintln!("{msg}");
+        return ExitCode::FAILURE;
+    }
+    println!("recovered state written to {ckpt_path} (rerun without --recover to continue)");
+    ExitCode::from(3)
 }
 
 fn main() -> ExitCode {
@@ -175,6 +318,13 @@ fn main() -> ExitCode {
         Ok(args) => args,
         Err(msg) => return arg_error(msg),
     };
+    // Fault injection for the crash-recovery suite: armed from the
+    // environment so the spec survives into this exact process.
+    if let Ok(spec) = std::env::var(failpoint::ENV_VAR) {
+        if let Err(msg) = failpoint::configure(&spec) {
+            return arg_error(format!("{}: {msg}", failpoint::ENV_VAR));
+        }
+    }
     let text = match std::fs::read_to_string(&args.file) {
         Ok(t) => t,
         Err(e) => {
@@ -265,6 +415,9 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "chase" => {
+            if args.recover {
+                return run_recovery(&args, &program);
+            }
             let mut program = program.clone();
             use chasekit::engine::{ChaseConfig, ChaseMachine};
             let mut cfg = ChaseConfig::of(args.variant);
@@ -373,6 +526,33 @@ fn main() -> ExitCode {
                     }
                 }
             };
+            if let Some(path) = &args.journal {
+                // A crashed journaled run leaves unreplayed records; refuse
+                // to truncate them (that would silently discard the very
+                // work the journal exists to preserve).
+                let bytes = match std::fs::read(path) {
+                    Ok(b) => b,
+                    Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+                    Err(e) => {
+                        eprintln!("cannot read journal {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                if needs_recovery(&machine, &bytes) {
+                    eprintln!(
+                        "journal {path} holds unreplayed records from an interrupted run; \
+                         run with --recover first (or delete the journal to discard that work)"
+                    );
+                    return ExitCode::FAILURE;
+                }
+                match JournalWriter::for_machine(std::path::Path::new(path), &machine) {
+                    Ok(j) => machine.set_journal(j),
+                    Err(e) => {
+                        eprintln!("cannot create journal {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             if let Some(secs) = args.progress {
                 machine.set_progress(
                     std::time::Duration::from_secs(secs),
@@ -391,14 +571,51 @@ fn main() -> ExitCode {
                 );
             }
 
-            let mut budget = Budget::applications(args.steps);
-            if let Some(ms) = args.timeout_ms {
-                budget = budget.with_timeout_ms(ms);
-            }
-            if let Some(bytes) = args.max_mem {
-                budget = budget.with_memory(bytes);
-            }
-            let outcome = machine.run_parallel(&budget, args.threads);
+            // One overall wall-clock deadline, even when `--checkpoint-every`
+            // splits the run into snapshot legs.
+            let deadline = args
+                .timeout_ms
+                .map(|ms| std::time::Instant::now() + std::time::Duration::from_millis(ms));
+            let outcome = loop {
+                let target = match args.checkpoint_every {
+                    Some(every) => {
+                        machine.stats().applications.saturating_add(every).min(args.steps)
+                    }
+                    None => args.steps,
+                };
+                let mut budget = Budget::applications(target);
+                if let Some(d) = deadline {
+                    let left = d.saturating_duration_since(std::time::Instant::now());
+                    budget = budget.with_timeout_ms(left.as_millis() as u64);
+                }
+                if let Some(bytes) = args.max_mem {
+                    budget = budget.with_memory(bytes);
+                }
+                let stop = machine.run_parallel(&budget, args.threads);
+                // A snapshot leg ended with overall budget to spare: publish
+                // a periodic snapshot, re-base the journal, keep going.
+                if stop == StopReason::Applications && target < args.steps {
+                    let path = args.checkpoint.as_deref().expect("--checkpoint-every requires it");
+                    if let Err(msg) =
+                        write_durable_snapshot(&mut machine, path, args.journal.as_deref())
+                    {
+                        eprintln!("{msg}");
+                        return ExitCode::FAILURE;
+                    }
+                    let (applications, atoms, pending) = (
+                        machine.stats().applications,
+                        machine.instance().len(),
+                        machine.pending(),
+                    );
+                    machine.trace_note(TraceEvent::CheckpointWrite {
+                        applications,
+                        atoms,
+                        pending,
+                    });
+                    continue;
+                }
+                break stop;
+            };
             println!(
                 "outcome: {} after {} applications, {} atoms, {} nulls (~{} KiB)",
                 outcome,
@@ -408,28 +625,40 @@ fn main() -> ExitCode {
                 machine.approx_memory_bytes() / 1024
             );
 
+            if outcome == StopReason::Io {
+                if let Some(msg) = machine.journal_failed() {
+                    eprintln!("journal write failed: {msg}");
+                }
+                // The snapshot below supersedes the broken journal; don't
+                // try to sync it (the sticky error would mask the snapshot).
+                let _ = machine.take_journal();
+            }
             if let Some(path) = &args.checkpoint {
                 if outcome.exhausted() {
-                    let text = match machine.snapshot().to_text() {
-                        Ok(t) => t,
-                        Err(e) => {
-                            eprintln!("cannot checkpoint run: {e}");
-                            return ExitCode::FAILURE;
-                        }
-                    };
-                    if let Err(e) = std::fs::write(path, text) {
-                        eprintln!("cannot write checkpoint {path}: {e}");
+                    // Atomic publication even for plain `--checkpoint` runs:
+                    // a kill mid-write can't tear the snapshot.
+                    if let Err(msg) =
+                        write_durable_snapshot(&mut machine, path, args.journal.as_deref())
+                    {
+                        eprintln!("{msg}");
                         return ExitCode::FAILURE;
                     }
                     let (applications, atoms, pending) =
                         (machine.stats().applications, machine.instance().len(), machine.pending());
                     machine.trace_note(TraceEvent::CheckpointWrite { applications, atoms, pending });
                     println!("checkpoint written to {path} (rerun to continue)");
-                } else if std::path::Path::new(path).exists() {
-                    // The run finished: a stale checkpoint would silently
-                    // replay the old state on the next invocation.
-                    let _ = std::fs::remove_file(path);
-                    println!("run saturated: checkpoint {path} removed");
+                } else {
+                    if std::path::Path::new(path).exists() {
+                        // The run finished: a stale checkpoint would silently
+                        // replay the old state on the next invocation.
+                        let _ = std::fs::remove_file(path);
+                        println!("run saturated: checkpoint {path} removed");
+                    }
+                    if let Some(journal) = &args.journal {
+                        // Nothing left to recover either.
+                        let _ = machine.take_journal();
+                        let _ = std::fs::remove_file(journal);
+                    }
                 }
             }
 
@@ -465,6 +694,7 @@ fn main() -> ExitCode {
                 StopReason::WallClock => ExitCode::from(12),
                 StopReason::Memory => ExitCode::from(13),
                 StopReason::Cancelled => ExitCode::from(14),
+                StopReason::Io => ExitCode::from(15),
             }
         }
         "explain" => {

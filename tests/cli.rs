@@ -639,6 +639,170 @@ fn trace_with_checkpoint_resume_is_contiguous_with_a_straight_run() {
     }
 }
 
+fn run_env(args: &[&str], env: &[(&str, &str)]) -> (String, String, Option<i32>) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_chasekit"));
+    cmd.args(args);
+    for (k, v) in env {
+        cmd.env(k, v);
+    }
+    let out = cmd.output().expect("binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.code(),
+    )
+}
+
+#[test]
+fn journal_flags_are_validated_up_front() {
+    let path = write_rules("journal-flags.rules", "p(a, b). p(X, Y) -> p(Y, Z).");
+    let rules = path.to_str().unwrap();
+    // --journal needs --checkpoint.
+    let (_, stderr, code) = run(&["chase", rules, "--journal", "/tmp/x.journal"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("--journal"), "{stderr}");
+    assert!(stderr.contains("--checkpoint"), "{stderr}");
+    // --checkpoint-every needs --checkpoint and a positive count.
+    let (_, stderr, code) = run(&["chase", rules, "--checkpoint-every", "50"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("--checkpoint-every"), "{stderr}");
+    let (_, stderr, code) = run(&[
+        "chase", rules, "--checkpoint", "/tmp/x.ckpt", "--checkpoint-every", "0",
+    ]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("--checkpoint-every"), "{stderr}");
+    assert!(stderr.contains("0"), "{stderr}");
+    // --recover needs both files.
+    let (_, stderr, code) = run(&["chase", rules, "--recover"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("--recover"), "{stderr}");
+    let (_, stderr, code) =
+        run(&["chase", rules, "--checkpoint", "/tmp/x.ckpt", "--recover"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("--recover"), "{stderr}");
+    assert!(stderr.contains("--journal"), "{stderr}");
+}
+
+#[test]
+fn malformed_failpoint_spec_is_named_in_the_error() {
+    let path = write_rules("failpoint-bad.rules", "p(X) -> q(X).");
+    let (_, stderr, code) = run_env(
+        &["chase", path.to_str().unwrap()],
+        &[("CHASEKIT_FAILPOINTS", "no-such-point=error")],
+    );
+    assert_eq!(code, Some(2), "{stderr}");
+    assert!(stderr.contains("CHASEKIT_FAILPOINTS"), "{stderr}");
+    assert!(stderr.contains("no-such-point"), "{stderr}");
+}
+
+#[test]
+fn journal_write_failure_exits_15_with_the_state_preserved() {
+    let path = write_rules("journal-io.rules", "p(a, b). p(X, Y) -> p(Y, Z).");
+    let dir = std::env::temp_dir().join("chasekit-cli-tests");
+    let ckpt = dir.join("io15.ckpt");
+    let journal = dir.join("io15.journal");
+    let _ = std::fs::remove_file(&ckpt);
+    let _ = std::fs::remove_file(&journal);
+    let (stdout, stderr, code) = run_env(
+        &[
+            "chase",
+            path.to_str().unwrap(),
+            "--steps",
+            "50",
+            "--checkpoint",
+            ckpt.to_str().unwrap(),
+            "--journal",
+            journal.to_str().unwrap(),
+        ],
+        &[("CHASEKIT_FAILPOINTS", "journal.append=error@5")],
+    );
+    assert_eq!(code, Some(15), "stdout: {stdout}\nstderr: {stderr}");
+    assert!(stderr.contains("journal write failed"), "{stderr}");
+    // The in-memory state is still sound, so the run parks a checkpoint.
+    assert!(ckpt.exists(), "an Io stop must still park the state");
+    let _ = std::fs::remove_file(&ckpt);
+    let _ = std::fs::remove_file(&journal);
+}
+
+#[test]
+fn recovery_reports_replayed_records_and_exits_3() {
+    let path = write_rules("recover-report.rules", "p(a, b). p(X, Y) -> p(Y, Z).");
+    let rules = path.to_str().unwrap();
+    let dir = std::env::temp_dir().join("chasekit-cli-tests");
+    let ckpt = dir.join("report.ckpt");
+    let journal = dir.join("report.journal");
+    let _ = std::fs::remove_file(&ckpt);
+    let _ = std::fs::remove_file(&journal);
+
+    // Simulated kill right before the first periodic snapshot publishes:
+    // the journal holds 20 records, the checkpoint does not exist.
+    let (_, _, code) = run_env(
+        &[
+            "chase", rules, "--steps", "60",
+            "--checkpoint", ckpt.to_str().unwrap(),
+            "--journal", journal.to_str().unwrap(),
+            "--checkpoint-every", "20",
+        ],
+        &[("CHASEKIT_FAILPOINTS", "snapshot.rename=exit:9@1")],
+    );
+    assert_eq!(code, Some(9));
+    assert!(journal.exists() && !ckpt.exists());
+
+    // A journaled restart refuses until the records are replayed.
+    let (_, stderr, code) = run(&[
+        "chase", rules, "--steps", "60",
+        "--checkpoint", ckpt.to_str().unwrap(),
+        "--journal", journal.to_str().unwrap(),
+    ]);
+    assert_eq!(code, Some(1), "{stderr}");
+    assert!(stderr.contains("--recover"), "{stderr}");
+
+    let (stdout, stderr, code) = run(&[
+        "chase", rules, "--steps", "60",
+        "--checkpoint", ckpt.to_str().unwrap(),
+        "--journal", journal.to_str().unwrap(),
+        "--recover",
+    ]);
+    assert_eq!(code, Some(3), "stdout: {stdout}\nstderr: {stderr}");
+    assert!(stdout.contains("no snapshot found"), "{stdout}");
+    assert!(stdout.contains("20 journal records replayed"), "{stdout}");
+    assert!(stdout.contains("bytes of torn tail truncated"), "{stdout}");
+    assert!(stdout.contains("recovered state: 20 applications"), "{stdout}");
+    assert!(ckpt.exists(), "recovery must publish the recovered state");
+
+    // The published state continues like any checkpoint.
+    let (stdout, _, code) = run(&[
+        "chase", rules, "--steps", "60",
+        "--checkpoint", ckpt.to_str().unwrap(),
+        "--journal", journal.to_str().unwrap(),
+    ]);
+    assert_eq!(code, Some(10), "{stdout}");
+    assert!(stdout.contains("resuming from checkpoint"), "{stdout}");
+    let _ = std::fs::remove_file(&ckpt);
+    let _ = std::fs::remove_file(&journal);
+}
+
+#[test]
+fn saturating_journaled_run_removes_both_files() {
+    let path = write_rules("journal-sat.rules", "e(a, b). e(X, Y) -> t(Y, X).");
+    let dir = std::env::temp_dir().join("chasekit-cli-tests");
+    let ckpt = dir.join("jsat.ckpt");
+    let journal = dir.join("jsat.journal");
+    let _ = std::fs::remove_file(&ckpt);
+    let _ = std::fs::remove_file(&journal);
+    let (stdout, _, code) = run(&[
+        "chase",
+        path.to_str().unwrap(),
+        "--checkpoint",
+        ckpt.to_str().unwrap(),
+        "--journal",
+        journal.to_str().unwrap(),
+    ]);
+    assert_eq!(code, Some(0), "{stdout}");
+    assert!(!ckpt.exists(), "saturation leaves no checkpoint");
+    assert!(!journal.exists(), "saturation leaves no journal");
+}
+
 #[test]
 fn conditions_reports_checker_work_counts() {
     let path = write_rules("conds-work.rules", "p(X, Y) -> p(Y, Z).");
