@@ -218,6 +218,11 @@ fn bench_journal_overhead(c: &mut Criterion) {
     let dir = std::env::temp_dir().join("chasekit-bench-journal");
     std::fs::create_dir_all(&dir).expect("bench scratch dir");
 
+    // Group-commit batch size per mode: `flushN` rows append through the
+    // same WAL but batch N records per write(2)+fsync.
+    let flush_of = |mode: &str| -> u64 {
+        mode.strip_prefix("flush").map_or(1, |n| n.parse().expect("flush mode"))
+    };
     let sweep = |mode: &str| -> usize {
         let mut atoms = 0usize;
         for p in &programs {
@@ -229,7 +234,9 @@ fn bench_journal_overhead(c: &mut Criterion) {
             if mode != "off" {
                 let _ = std::fs::remove_file(&journal_path);
                 m.set_journal(
-                    JournalWriter::for_machine(&journal_path, &m).expect("journal opens"),
+                    JournalWriter::for_machine(&journal_path, &m)
+                        .expect("journal opens")
+                        .with_flush_every(flush_of(mode)),
                 );
             }
             if mode == "durable" {
@@ -266,6 +273,20 @@ fn bench_journal_overhead(c: &mut Criterion) {
     }
     group.finish();
 
+    // Group-commit ablation: the same journaled sweep at batch sizes 1, 8,
+    // and 64 (`--journal-flush-every`). Larger batches amortize the
+    // write(2) per record; crash-safety is unchanged (a torn batch is a
+    // valid journal prefix, see tests/crash_recovery.rs).
+    let mut group = c.benchmark_group("ablation/journal_flush");
+    group.sample_size(10);
+    for mode in ["journal", "flush8", "flush64"] {
+        let label = if mode == "journal" { "flush1" } else { mode };
+        group.bench_with_input(BenchmarkId::from_parameter(label), &mode, |b, &mode| {
+            b.iter(|| black_box(sweep(mode)))
+        });
+    }
+    group.finish();
+
     // Independent medians for the standalone JSON record, in the same shape
     // as BENCH_parallel_chase.json.
     let median = |mode: &str| -> u64 {
@@ -279,8 +300,10 @@ fn bench_journal_overhead(c: &mut Criterion) {
         runs.sort_unstable();
         runs[runs.len() / 2]
     };
-    let rows: Vec<(&str, u64)> =
-        ["off", "journal", "durable"].iter().map(|&m| (m, median(m))).collect();
+    let rows: Vec<(&str, u64)> = ["off", "journal", "flush8", "flush64", "durable"]
+        .iter()
+        .map(|&m| (m, median(m)))
+        .collect();
     let base = rows[0].1.max(1) as f64;
     let rows_json: Vec<String> = rows
         .iter()
@@ -292,7 +315,7 @@ fn bench_journal_overhead(c: &mut Criterion) {
         })
         .collect();
     let json = format!(
-        "{{\n  \"bench\": \"journal_overhead\",\n  \"workload\": \"e4-guarded critical-instance chase, 8 seeds, semi-oblivious\",\n  \"budget\": {{\"max_applications\": 800, \"max_atoms\": 20000}},\n  \"modes\": {{\"off\": \"no journal (failpoints compiled in, disabled)\", \"journal\": \"WAL append per admitted trigger\", \"durable\": \"WAL + fsync'd atomic snapshot every 200 applications\"}},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"journal_overhead\",\n  \"workload\": \"e4-guarded critical-instance chase, 8 seeds, semi-oblivious\",\n  \"budget\": {{\"max_applications\": 800, \"max_atoms\": 20000}},\n  \"modes\": {{\"off\": \"no journal (failpoints compiled in, disabled)\", \"journal\": \"WAL append per admitted trigger (flush every 1)\", \"flush8\": \"WAL with group commit, 8 records per write\", \"flush64\": \"WAL with group commit, 64 records per write\", \"durable\": \"WAL + fsync'd atomic snapshot every 200 applications\"}},\n  \"rows\": [\n{}\n  ]\n}}\n",
         rows_json.join(",\n")
     );
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_journal_overhead.json");

@@ -1,0 +1,155 @@
+//! Throughput and latency of the `chasekit serve` job server.
+//!
+//! Runs an in-process server (real TCP, real job store, real durable
+//! state) and drives it with 1, 4, and 8 concurrent clients, each
+//! submitting cache-bypassing jobs back-to-back and waiting for
+//! completion. Records jobs/sec plus p50/p99 submit→done latency per
+//! client count in `BENCH_serve_throughput.json` at the repo root.
+//!
+//! Every job chases the same diverging program for a fixed application
+//! budget, so the server-side work per job is constant; the sweep
+//! isolates protocol + admission + store overhead and worker-pool
+//! scaling, not chase variance.
+
+use std::hint::black_box;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use chasekit_engine::serve::{serve, JobSpec, ServeConfig, ServerHandle};
+
+const CLIENTS: [usize; 3] = [1, 4, 8];
+const JOBS_PER_CLIENT: usize = 16;
+const STEPS_PER_JOB: u64 = 300;
+const PROGRAM: &str = "person(bob). person(X) -> hasFather(X, Y), person(Y).";
+
+fn scratch() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("chasekit-bench-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("bench scratch dir");
+    dir
+}
+
+fn start_server(store: &std::path::Path) -> ServerHandle {
+    let mut config = ServeConfig::new(store);
+    config.workers = 4;
+    config.queue_capacity = 1024;
+    config.defaults = JobSpec { steps: STEPS_PER_JOB, ..JobSpec::server_default() };
+    serve(config).expect("server starts")
+}
+
+/// One client: `jobs` sequential submit→wait round trips over a single
+/// connection. Returns the submit→done latency of each job in
+/// microseconds.
+fn client_run(addr: std::net::SocketAddr, jobs: usize) -> Vec<u64> {
+    let stream = TcpStream::connect(addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut out = stream;
+    let submit = format!(
+        "{{\"op\":\"submit\",\"program\":\"{PROGRAM}\",\"steps\":{STEPS_PER_JOB},\"fresh\":1}}\n"
+    );
+    let mut latencies = Vec::with_capacity(jobs);
+    let mut line = String::new();
+    for _ in 0..jobs {
+        let start = Instant::now();
+        out.write_all(submit.as_bytes()).expect("submit");
+        line.clear();
+        reader.read_line(&mut line).expect("ack");
+        let job = line
+            .split("\"job\":\"")
+            .nth(1)
+            .and_then(|r| r.split('"').next())
+            .unwrap_or_else(|| panic!("no job id in {line:?}"))
+            .to_string();
+        out.write_all(format!("{{\"op\":\"wait\",\"job\":\"{job}\"}}\n").as_bytes())
+            .expect("wait");
+        line.clear();
+        reader.read_line(&mut line).expect("done");
+        assert!(line.contains("\"state\":\"done\""), "job failed: {line}");
+        latencies.push(start.elapsed().as_micros() as u64);
+    }
+    latencies
+}
+
+/// One full sweep at `clients` concurrent connections against a fresh
+/// server on a fresh store. Returns (total wall-clock µs, all latencies).
+fn sweep(dir: &std::path::Path, clients: usize) -> (u64, Vec<u64>) {
+    let store = dir.join(format!("store-{clients}"));
+    let _ = std::fs::remove_dir_all(&store);
+    let server = start_server(&store);
+    let addr = server.addr();
+    let start = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|_| std::thread::spawn(move || client_run(addr, JOBS_PER_CLIENT)))
+        .collect();
+    let mut latencies = Vec::new();
+    for h in handles {
+        latencies.extend(h.join().expect("client thread"));
+    }
+    let wall = start.elapsed().as_micros() as u64;
+    server.shutdown();
+    (wall, latencies)
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+fn bench_serve_throughput(c: &mut Criterion) {
+    let dir = scratch();
+
+    let mut group = c.benchmark_group("serve/throughput");
+    group.sample_size(10);
+    for &clients in &CLIENTS {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(clients),
+            &clients,
+            |b, &clients| b.iter(|| black_box(sweep(&dir, clients).0)),
+        );
+    }
+    group.finish();
+
+    // Independent medians + latency percentiles for the JSON record.
+    let rows: Vec<String> = CLIENTS
+        .iter()
+        .map(|&clients| {
+            let mut walls = Vec::new();
+            let mut latencies = Vec::new();
+            for _ in 0..3 {
+                let (wall, lat) = sweep(&dir, clients);
+                walls.push(wall);
+                latencies.extend(lat);
+            }
+            walls.sort_unstable();
+            latencies.sort_unstable();
+            let wall = walls[walls.len() / 2];
+            let total_jobs = clients * JOBS_PER_CLIENT;
+            let jobs_per_sec = total_jobs as f64 / (wall as f64 / 1e6);
+            format!(
+                "    {{\"clients\": {clients}, \"jobs\": {total_jobs}, \
+                 \"median_wall_us\": {wall}, \"jobs_per_sec\": {jobs_per_sec:.1}, \
+                 \"latency_p50_us\": {}, \"latency_p99_us\": {}}}",
+                percentile(&latencies, 0.50),
+                percentile(&latencies, 0.99),
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"serve_throughput\",\n  \"workload\": \"diverging single-rule \
+         program, {STEPS_PER_JOB} applications per job, {JOBS_PER_CLIENT} jobs per client, \
+         fresh (cache-bypassing) submissions\",\n  \"server\": {{\"workers\": 4, \
+         \"queue_capacity\": 1024}},\n  \"rows\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve_throughput.json");
+    std::fs::write(out, &json).expect("write BENCH_serve_throughput.json");
+    eprintln!("serve_throughput: wrote {out}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, bench_serve_throughput);
+criterion_main!(benches);

@@ -46,6 +46,16 @@ pub mod points {
     pub const SNAPSHOT_RENAME: &str = "snapshot.rename";
     /// Inside a parallel-round discovery worker (panic injection).
     pub const ROUND_WORKER: &str = "round.worker";
+    /// Server job admission: after the job's store files are durably
+    /// written, before it is enqueued and acknowledged. Firing `exit` here
+    /// simulates a kill in the admit window — the restarted server must
+    /// recover the persisted-but-unacknowledged job.
+    pub const SERVE_ADMIT: &str = "serve.admit";
+    /// Server result publication: after a job's final checkpoint is
+    /// written, before its result file marks it complete. Firing `exit`
+    /// here leaves a finished-but-unmarked job for restart recovery to
+    /// re-run deterministically.
+    pub const SERVE_RESULT: &str = "serve.result";
 
     /// Every point, for spec validation.
     pub(super) const ALL: &[&str] = &[
@@ -55,6 +65,8 @@ pub mod points {
         SNAPSHOT_WRITE,
         SNAPSHOT_RENAME,
         ROUND_WORKER,
+        SERVE_ADMIT,
+        SERVE_RESULT,
     ];
 }
 
@@ -202,7 +214,7 @@ pub(crate) fn injected(name: &str) -> std::io::Error {
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
 
     /// Failpoint state is process-global; tests arming it must serialize.

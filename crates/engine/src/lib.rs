@@ -34,6 +34,7 @@ pub mod journal;
 pub mod metrics;
 pub mod query;
 pub mod round;
+pub mod serve;
 pub mod trace;
 pub mod variant;
 
@@ -53,6 +54,7 @@ pub use dot::derivation_to_dot;
 pub use metrics::{Histogram, MetricsRegistry, MetricsSink, RuleMetrics};
 pub use query::{certain_answers, certainly_holds, ConjunctiveQuery, QueryError};
 pub use round::RoundStats;
+pub use serve::{serve, JobReport, JobSpec, ServeConfig, ServerHandle};
 pub use trace::{
     core_seq, validate_trace_line, JsonlSink, MultiSink, ProgressReport, TraceEvent,
     TraceSink,

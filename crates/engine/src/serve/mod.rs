@@ -1,0 +1,34 @@
+//! `chasekit serve`: a crash-resilient multi-tenant chase service.
+//!
+//! PRs 1–4 built the production bones — budgets, cancellation, traces,
+//! checkpoints, crash-safe journals — but they only composed inside one
+//! CLI invocation. This subsystem composes them behind a long-running
+//! server so many clients can submit programs concurrently, each chase an
+//! isolated, fault-contained, durably journaled **job**:
+//!
+//! * [`protocol`] — the newline-delimited flat-JSON wire format and the
+//!   hardened line reader at the trust boundary;
+//! * [`runner`] — [`runner::run_job`], the one durable execution loop
+//!   both fresh submissions and restart recovery go through;
+//! * [`store`] — the on-disk job store whose `meta`/`result` markers
+//!   carry the crash-consistency protocol;
+//! * [`server`] — admission control, the worker pool, connection
+//!   handling, the recovery scan, and the result cache.
+//!
+//! The design contract, inherited from the journal layer and enforced by
+//! the kill-at-every-failpoint suite: **bit-identical or cleanly
+//! truncated, never fabricated**. A server SIGKILL'd at any point —
+//! mid-append, mid-snapshot, in the admit window, between a job's final
+//! checkpoint and its result marker — recovers on restart to a state from
+//! which every admitted job completes with a final checkpoint
+//! byte-identical to a run that never crashed.
+
+pub mod protocol;
+pub mod runner;
+pub mod server;
+pub mod store;
+
+pub use protocol::{parse_request, read_line_capped, ReadLine, Request};
+pub use runner::{run_job, JobPaths, JobReport, JobSpec};
+pub use server::{serve, ServeConfig, ServerHandle};
+pub use store::{JobResult, JobStore, ScanReport, StoredJob};

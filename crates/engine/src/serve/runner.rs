@@ -1,0 +1,296 @@
+//! `JobRunner`: one chase job, durably, from genesis or from wreckage.
+//!
+//! [`run_job`] is the single entry point the server's worker pool uses for
+//! both fresh submissions and jobs found half-done by the restart scan —
+//! the two cases are deliberately the same code path, so the recovery
+//! differential ("a killed job, resumed, is bit-identical to one that
+//! never crashed") is a property of the only loop there is. The loop
+//! mirrors the CLI's `chase --checkpoint --journal --checkpoint-every`
+//! driver exactly: legs of `checkpoint_every` applications, each leg
+//! followed by a synced journal, an atomically published snapshot, and a
+//! re-based journal, under one overall wall-clock deadline.
+//!
+//! A job directory owns four well-known files (see [`JobPaths`]): the
+//! working snapshot + journal pair the durable loop maintains, the final
+//! checkpoint published when the chase stops, and the result marker the
+//! *server* writes last — its presence is what the restart scan treats as
+//! "complete", so a kill anywhere before it simply re-runs the
+//! deterministic tail.
+
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use chasekit_core::{CriticalInstance, Instance, Program};
+
+use crate::journal::{recover, write_snapshot_atomic, JournalWriter};
+use crate::trace::TraceSink;
+use crate::{Budget, CancelToken, ChaseConfig, ChaseMachine, ChaseVariant, StopReason};
+
+/// The per-job budget and durability cadence, persisted in the job's
+/// `meta` file so a restarted server re-runs the job under identical
+/// rules. Wall-clock deadlines restart from zero on recovery (elapsed
+/// time before the kill is unknowable); deterministic workloads use the
+/// application/atom/memory budgets, which replay exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobSpec {
+    /// Chase variant.
+    pub variant: ChaseVariant,
+    /// Application budget (the CLI's `--steps`).
+    pub steps: u64,
+    /// Wall-clock deadline in milliseconds, if any.
+    pub timeout_ms: Option<u64>,
+    /// Atom-count ceiling, if any.
+    pub max_atoms: Option<usize>,
+    /// Approximate memory ceiling in bytes, if any.
+    pub max_memory: Option<usize>,
+    /// Snapshot + journal re-base cadence in applications (0 = only the
+    /// final checkpoint, no periodic durability).
+    pub checkpoint_every: u64,
+    /// Journal group-commit batch size (records per `write(2)`).
+    pub flush_every: u64,
+}
+
+impl JobSpec {
+    /// The server's built-in defaults: semi-oblivious chase, a generous
+    /// but finite application budget, periodic durability every 256
+    /// applications, write-per-record journaling.
+    pub fn server_default() -> JobSpec {
+        JobSpec {
+            variant: ChaseVariant::SemiOblivious,
+            steps: 1_000_000,
+            timeout_ms: None,
+            max_atoms: None,
+            max_memory: None,
+            checkpoint_every: 256,
+            flush_every: 1,
+        }
+    }
+}
+
+/// The well-known files inside one job directory.
+#[derive(Debug, Clone)]
+pub struct JobPaths {
+    /// The job directory itself.
+    pub dir: PathBuf,
+}
+
+impl JobPaths {
+    /// Wraps a job directory.
+    pub fn new(dir: &Path) -> JobPaths {
+        JobPaths { dir: dir.to_path_buf() }
+    }
+
+    /// The submitted program text, exactly as received.
+    pub fn program(&self) -> PathBuf {
+        self.dir.join("program.rules")
+    }
+
+    /// The job spec (`meta`), written last and atomically at admission.
+    pub fn meta(&self) -> PathBuf {
+        self.dir.join("meta")
+    }
+
+    /// The working snapshot the durable loop re-publishes every leg.
+    pub fn state_checkpoint(&self) -> PathBuf {
+        self.dir.join("state.ckpt")
+    }
+
+    /// The write-ahead journal covering everything past the snapshot.
+    pub fn journal(&self) -> PathBuf {
+        self.dir.join("state.journal")
+    }
+
+    /// The final checkpoint, published when the chase stops.
+    pub fn final_checkpoint(&self) -> PathBuf {
+        self.dir.join("final.ckpt")
+    }
+
+    /// The result marker the server writes last; its presence means done.
+    pub fn result(&self) -> PathBuf {
+        self.dir.join("result")
+    }
+}
+
+/// What [`run_job`] accomplished.
+#[derive(Debug, Clone)]
+pub struct JobReport {
+    /// Why the chase stopped.
+    pub outcome: StopReason,
+    /// Trigger applications performed (including recovered ones).
+    pub applications: u64,
+    /// Final instance size in atoms.
+    pub atoms: usize,
+    /// Labelled nulls minted.
+    pub nulls: usize,
+    /// Whether the job resumed from on-disk state (restart recovery).
+    pub recovered: bool,
+    /// Journal records replayed during recovery.
+    pub replayed: u64,
+    /// The final checkpoint text (also on disk at
+    /// [`JobPaths::final_checkpoint`]) — the byte-identity witness the
+    /// differential suite compares.
+    pub checkpoint_text: String,
+    /// The sticky journal error when `outcome` is [`StopReason::Io`].
+    pub io_error: Option<String>,
+}
+
+/// Runs one job to a terminal state inside `dir`, fresh or recovered.
+///
+/// If the directory holds a prior `state.ckpt`/`state.journal` pair (the
+/// server was killed mid-job), the machine is recovered from them —
+/// verified deterministic replay, torn tails truncated — and continues;
+/// otherwise the chase starts from the program's facts (or its critical
+/// instance when it has none), exactly like the CLI. Returns an error
+/// string for structural failures (unreadable state, mismatched files,
+/// unwritable final checkpoint); budget and I/O stops are *successful*
+/// reports with the corresponding [`StopReason`].
+pub fn run_job(
+    program: &Program,
+    spec: &JobSpec,
+    dir: &Path,
+    cancel: CancelToken,
+    sink: Option<Box<dyn TraceSink>>,
+) -> Result<JobReport, String> {
+    let paths = JobPaths::new(dir);
+    let mut program = program.clone();
+    let config = ChaseConfig::of(spec.variant);
+
+    let snapshot_text = match std::fs::read_to_string(paths.state_checkpoint()) {
+        Ok(t) => Some(t),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
+        Err(e) => return Err(format!("cannot read {}: {e}", paths.state_checkpoint().display())),
+    };
+    let journal_bytes = match std::fs::read(paths.journal()) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(format!("cannot read {}: {e}", paths.journal().display())),
+    };
+
+    let genesis = if program.facts().is_empty() {
+        CriticalInstance::build(&mut program).instance
+    } else {
+        Instance::from_atoms(program.facts().iter().cloned())
+    };
+
+    let recovered = snapshot_text.is_some() || !journal_bytes.is_empty();
+    let mut replayed = 0;
+    let mut machine = if recovered {
+        let (mut m, report) =
+            recover(&program, snapshot_text.as_deref(), &journal_bytes, genesis, config)
+                .map_err(|e| format!("cannot recover job state: {e}"))?;
+        replayed = report.records_replayed;
+        if let Some(sink) = sink {
+            // Sequence numbers continue from the recovered stats; the
+            // stream is a suffix of an uncrashed run's stream.
+            m.set_trace_sink(sink);
+        }
+        m
+    } else {
+        match sink {
+            Some(sink) => ChaseMachine::new_with_trace(&program, config, genesis, sink),
+            None => ChaseMachine::new(&program, config, genesis),
+        }
+    };
+    machine.set_cancel_token(cancel);
+
+    let journal = JournalWriter::for_machine(&paths.journal(), &machine)
+        .map_err(|e| format!("cannot create journal {}: {e}", paths.journal().display()))?
+        .with_flush_every(spec.flush_every);
+    machine.set_journal(journal);
+
+    // One overall wall-clock deadline across all snapshot legs, exactly
+    // like the CLI driver.
+    let deadline = spec.timeout_ms.map(|ms| Instant::now() + Duration::from_millis(ms));
+    let mut publish_error: Option<String> = None;
+    let mut outcome = loop {
+        let target = if spec.checkpoint_every > 0 {
+            machine.stats().applications.saturating_add(spec.checkpoint_every).min(spec.steps)
+        } else {
+            spec.steps
+        };
+        let mut budget = Budget::applications(target);
+        if let Some(d) = deadline {
+            let left = d.saturating_duration_since(Instant::now());
+            budget = budget.with_timeout_ms(left.as_millis() as u64);
+        }
+        if let Some(atoms) = spec.max_atoms {
+            budget = budget.with_atoms(atoms);
+        }
+        if let Some(bytes) = spec.max_memory {
+            budget = budget.with_memory(bytes);
+        }
+        let stop = machine.run(&budget);
+        if stop == StopReason::Applications && target < spec.steps {
+            // Leg boundary with budget to spare: publish and keep going.
+            // A publish failure (ENOSPC, EACCES, injected fault) is a
+            // durability stop, not a server error: the job ends with
+            // StopReason::Io and the named error text.
+            match publish_leg(&mut machine, &paths, spec) {
+                Ok(()) => continue,
+                Err(msg) => {
+                    publish_error = Some(msg);
+                    break StopReason::Io;
+                }
+            }
+        }
+        break stop;
+    };
+
+    machine.flush_trace();
+
+    // Finalization. A journal that cannot be synced is a durability
+    // failure: surface it as StopReason::Io, never swallow it.
+    let mut io_error = None;
+    if outcome == StopReason::Io {
+        io_error = publish_error.or_else(|| machine.journal_failed().map(str::to_string));
+        let _ = machine.take_journal();
+    } else if let Some(mut j) = machine.take_journal() {
+        if let Err(e) = j.sync() {
+            io_error = Some(format!("cannot sync journal {}: {e}", j.path().display()));
+            outcome = StopReason::Io;
+        }
+    }
+
+    let checkpoint_text = machine
+        .snapshot()
+        .to_text()
+        .map_err(|e| format!("cannot serialize final checkpoint: {e}"))?;
+    write_snapshot_atomic(&paths.final_checkpoint(), &checkpoint_text).map_err(|e| {
+        format!("cannot write final checkpoint {}: {e}", paths.final_checkpoint().display())
+    })?;
+
+    Ok(JobReport {
+        outcome,
+        applications: machine.stats().applications,
+        atoms: machine.instance().len(),
+        nulls: machine.stats().nulls_minted as usize,
+        recovered,
+        replayed,
+        checkpoint_text,
+        io_error,
+    })
+}
+
+/// Syncs the journal, atomically publishes the working snapshot, and
+/// re-bases the journal on it — the CLI's `write_durable_snapshot`, with
+/// the group-commit batch size carried across the re-base.
+fn publish_leg(
+    machine: &mut ChaseMachine<'_>,
+    paths: &JobPaths,
+    spec: &JobSpec,
+) -> Result<(), String> {
+    let text = machine
+        .snapshot()
+        .to_text()
+        .map_err(|e| format!("cannot serialize snapshot: {e}"))?;
+    if let Some(mut j) = machine.take_journal() {
+        j.sync().map_err(|e| format!("cannot sync journal {}: {e}", j.path().display()))?;
+    }
+    write_snapshot_atomic(&paths.state_checkpoint(), &text)
+        .map_err(|e| format!("cannot write checkpoint {}: {e}", paths.state_checkpoint().display()))?;
+    let j = JournalWriter::for_machine(&paths.journal(), machine)
+        .map_err(|e| format!("cannot re-base journal {}: {e}", paths.journal().display()))?
+        .with_flush_every(spec.flush_every);
+    machine.set_journal(j);
+    Ok(())
+}

@@ -10,6 +10,10 @@
 //!                    [--journal FILE] [--checkpoint-every N] [--recover]
 //!                    [--threads N] [--trace FILE] [--metrics FILE] [--progress SECS]
 //! chasekit critical  <rules-file> [--standard]
+//! chasekit serve     --store DIR [--addr HOST:PORT] [--workers N] [--queue N]
+//!                    [--variant o|so|restricted] [--steps N] [--timeout-ms N]
+//!                    [--max-atoms-mem BYTES] [--checkpoint-every N]
+//!                    [--journal-flush-every N]
 //! ```
 //!
 //! The rules file uses the textual format described in the README; facts in
@@ -42,6 +46,7 @@ use chasekit::engine::{
 use chasekit::prelude::*;
 
 const USAGE: &str = "usage: chasekit <classify|conditions|decide|explain|chase|critical> <rules-file> [options]
+       chasekit serve --store DIR [options]
 options:
   --variant o|so|restricted   chase variant (default: so)
   --steps N                   chase step budget (default: 10000)
@@ -55,8 +60,9 @@ options:
   --journal FILE              (chase) write-ahead journal of applications;
                               requires --checkpoint. A crash loses at most
                               the torn final record; recover with --recover
-  --checkpoint-every N        (chase) snapshot + re-base the journal every N
-                              applications; requires --checkpoint
+  --checkpoint-every N        (chase/serve) snapshot + re-base the journal
+                              every N applications; chase requires
+                              --checkpoint, serve applies it to every job
   --recover                   (chase) recover from --checkpoint + --journal
                               after a crash: truncate the torn tail, replay
                               the journal, rewrite a clean snapshot, print a
@@ -71,6 +77,16 @@ options:
                               (counters, histograms, per-rule/per-predicate)
   --progress SECS             (chase) print a progress line to stderr at
                               most every SECS seconds (SECS >= 1)
+  --journal-flush-every N     (chase/serve) journal group-commit: batch N
+                              records per write (default 1 = write-per-
+                              record); chase requires --journal
+  --store DIR                 (serve) job-store root; in-flight jobs found
+                              there at startup are recovered and completed
+  --addr HOST:PORT            (serve) bind address (default 127.0.0.1:0,
+                              an ephemeral port, printed at startup)
+  --workers N                 (serve) worker threads running jobs (default 2)
+  --queue N                   (serve) admission cap: queued+running jobs
+                              beyond it are rejected as overloaded (default 16)
 exit codes (chase): 0 saturated, 10 applications, 11 atoms, 12 wall-clock,
                     13 memory, 14 cancelled, 15 durability I/O failure;
                     3 after a successful --recover";
@@ -100,19 +116,29 @@ struct Args {
     trace: Option<String>,
     metrics: Option<String>,
     progress: Option<u64>,
+    flush_every: u64,
+    store: Option<String>,
+    addr: String,
+    workers: usize,
+    queue: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut argv = std::env::args().skip(1);
     let command = argv.next().ok_or("missing <command> argument")?;
-    let known = ["classify", "conditions", "decide", "explain", "chase", "critical"];
+    let known = ["classify", "conditions", "decide", "explain", "chase", "critical", "serve"];
     if !known.contains(&command.as_str()) {
         return Err(format!(
             "unknown command `{command}` (expected one of: {})",
             known.join(", ")
         ));
     }
-    let file = argv.next().ok_or_else(|| format!("`{command}` needs a <rules-file> argument"))?;
+    // `serve` takes no rules file: programs arrive over the wire.
+    let file = if command == "serve" {
+        String::new()
+    } else {
+        argv.next().ok_or_else(|| format!("`{command}` needs a <rules-file> argument"))?
+    };
     let mut out = Args {
         command,
         file,
@@ -131,6 +157,11 @@ fn parse_args() -> Result<Args, String> {
         trace: None,
         metrics: None,
         progress: None,
+        flush_every: 1,
+        store: None,
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        queue: 16,
     };
     // A flag's value, or a named error if the command line ends first.
     fn value(argv: &mut impl Iterator<Item = String>, flag: &str) -> Result<String, String> {
@@ -195,8 +226,42 @@ fn parse_args() -> Result<Args, String> {
                 }
                 out.progress = Some(secs);
             }
+            "--journal-flush-every" => {
+                let every: u64 = number(&mut argv, "--journal-flush-every")?;
+                if every == 0 {
+                    return Err(
+                        "`--journal-flush-every` expects a positive integer, got `0`".to_string()
+                    );
+                }
+                out.flush_every = every;
+            }
+            "--store" => out.store = Some(value(&mut argv, "--store")?),
+            "--addr" => out.addr = value(&mut argv, "--addr")?,
+            "--workers" => {
+                out.workers = number(&mut argv, "--workers")?;
+                if out.workers == 0 {
+                    return Err("`--workers` expects a positive integer, got `0`".to_string());
+                }
+            }
+            "--queue" => {
+                out.queue = number(&mut argv, "--queue")?;
+                if out.queue == 0 {
+                    return Err("`--queue` expects a positive integer, got `0`".to_string());
+                }
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
+    }
+    if out.command == "serve" && out.store.is_none() {
+        return Err("`serve` requires `--store DIR` (the job-store root)".to_string());
+    }
+    if out.command != "serve" && out.store.is_some() {
+        return Err("`--store` is only valid with `serve`".to_string());
+    }
+    if out.command != "serve" && out.flush_every > 1 && out.journal.is_none() {
+        return Err("`--journal-flush-every` requires `--journal` (there is no journal \
+             to batch without one)"
+            .to_string());
     }
     if out.checkpoint.is_some() && out.dot.is_some() {
         return Err(
@@ -210,7 +275,7 @@ fn parse_args() -> Result<Args, String> {
              of the snapshot)"
             .to_string());
     }
-    if out.checkpoint_every.is_some() && out.checkpoint.is_none() {
+    if out.checkpoint_every.is_some() && out.checkpoint.is_none() && out.command != "serve" {
         return Err("`--checkpoint-every` requires `--checkpoint`".to_string());
     }
     if out.recover && (out.checkpoint.is_none() || out.journal.is_none()) {
@@ -227,6 +292,7 @@ fn write_durable_snapshot(
     machine: &mut chasekit::engine::ChaseMachine<'_>,
     checkpoint: &str,
     journal: Option<&str>,
+    flush_every: u64,
 ) -> Result<(), String> {
     let text = machine
         .snapshot()
@@ -239,11 +305,17 @@ fn write_durable_snapshot(
         .map_err(|e| format!("cannot write checkpoint {checkpoint}: {e}"))?;
     if let Some(path) = journal {
         let j = JournalWriter::for_machine(std::path::Path::new(path), machine)
-            .map_err(|e| format!("cannot re-base journal {path}: {e}"))?;
+            .map_err(|e| format!("cannot re-base journal {path}: {e}"))?
+            .with_flush_every(flush_every);
         machine.set_journal(j);
     }
     Ok(())
 }
+
+/// Durability failures are exit 15 ([`StopReason::Io`]'s code), not a
+/// generic 1: a full disk or revoked permission mid-run is an I/O stop,
+/// and scripts watching the run need to tell it apart from a bad input.
+const DURABILITY_FAILURE: u8 = 15;
 
 /// `chase --recover`: replay the journal atop the last good snapshot,
 /// publish the recovered state, and exit 3 without continuing the chase.
@@ -305,12 +377,56 @@ fn run_recovery(args: &Args, program: &Program) -> ExitCode {
         report.final_applications, report.final_atoms
     );
 
-    if let Err(msg) = write_durable_snapshot(&mut machine, ckpt_path, Some(journal_path)) {
+    if let Err(msg) =
+        write_durable_snapshot(&mut machine, ckpt_path, Some(journal_path), args.flush_every)
+    {
         eprintln!("{msg}");
-        return ExitCode::FAILURE;
+        return ExitCode::from(DURABILITY_FAILURE);
     }
     println!("recovered state written to {ckpt_path} (rerun without --recover to continue)");
     ExitCode::from(3)
+}
+
+/// `chasekit serve`: run the multi-tenant chase service until shutdown.
+///
+/// Startup prints `listening on ADDR` (with an explicit flush, so tests
+/// driving the binary through a pipe see it promptly) followed by one
+/// `recovered job-N` line per in-flight job the restart scan found; those
+/// jobs are already re-queued and will complete without client action.
+fn run_serve(args: &Args) -> ExitCode {
+    use chasekit::engine::serve::{JobSpec, ServeConfig};
+    use std::io::Write as _;
+
+    let store = args.store.as_deref().expect("validated by parse_args");
+    let mut config = ServeConfig::new(std::path::Path::new(store));
+    config.addr = args.addr.clone();
+    config.workers = args.workers;
+    config.queue_capacity = args.queue;
+    config.defaults = JobSpec {
+        variant: args.variant,
+        steps: args.steps,
+        timeout_ms: args.timeout_ms,
+        max_atoms: None,
+        max_memory: args.max_mem,
+        checkpoint_every: args.checkpoint_every.unwrap_or(256),
+        flush_every: args.flush_every,
+    };
+
+    let handle = match chasekit::engine::serve::serve(config) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("cannot start server on {}: {e}", args.addr);
+            return ExitCode::from(DURABILITY_FAILURE);
+        }
+    };
+    let mut out = std::io::stdout();
+    let _ = writeln!(out, "listening on {}", handle.addr());
+    for job in handle.recovered_jobs() {
+        let _ = writeln!(out, "recovered {job}");
+    }
+    let _ = out.flush();
+    handle.wait();
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
@@ -324,6 +440,10 @@ fn main() -> ExitCode {
         if let Err(msg) = failpoint::configure(&spec) {
             return arg_error(format!("{}: {msg}", failpoint::ENV_VAR));
         }
+    }
+    // `serve` has no rules file to read: dispatch before the file I/O.
+    if args.command == "serve" {
+        return run_serve(&args);
     }
     let text = match std::fs::read_to_string(&args.file) {
         Ok(t) => t,
@@ -546,7 +666,7 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
                 match JournalWriter::for_machine(std::path::Path::new(path), &machine) {
-                    Ok(j) => machine.set_journal(j),
+                    Ok(j) => machine.set_journal(j.with_flush_every(args.flush_every)),
                     Err(e) => {
                         eprintln!("cannot create journal {path}: {e}");
                         return ExitCode::FAILURE;
@@ -596,11 +716,14 @@ fn main() -> ExitCode {
                 // a periodic snapshot, re-base the journal, keep going.
                 if stop == StopReason::Applications && target < args.steps {
                     let path = args.checkpoint.as_deref().expect("--checkpoint-every requires it");
-                    if let Err(msg) =
-                        write_durable_snapshot(&mut machine, path, args.journal.as_deref())
-                    {
+                    if let Err(msg) = write_durable_snapshot(
+                        &mut machine,
+                        path,
+                        args.journal.as_deref(),
+                        args.flush_every,
+                    ) {
                         eprintln!("{msg}");
-                        return ExitCode::FAILURE;
+                        return ExitCode::from(DURABILITY_FAILURE);
                     }
                     let (applications, atoms, pending) = (
                         machine.stats().applications,
@@ -637,27 +760,44 @@ fn main() -> ExitCode {
                 if outcome.exhausted() {
                     // Atomic publication even for plain `--checkpoint` runs:
                     // a kill mid-write can't tear the snapshot.
-                    if let Err(msg) =
-                        write_durable_snapshot(&mut machine, path, args.journal.as_deref())
-                    {
+                    if let Err(msg) = write_durable_snapshot(
+                        &mut machine,
+                        path,
+                        args.journal.as_deref(),
+                        args.flush_every,
+                    ) {
                         eprintln!("{msg}");
-                        return ExitCode::FAILURE;
+                        return ExitCode::from(DURABILITY_FAILURE);
                     }
                     let (applications, atoms, pending) =
                         (machine.stats().applications, machine.instance().len(), machine.pending());
                     machine.trace_note(TraceEvent::CheckpointWrite { applications, atoms, pending });
                     println!("checkpoint written to {path} (rerun to continue)");
                 } else {
+                    // The run finished: a stale checkpoint or journal would
+                    // silently replay the old state on the next invocation,
+                    // so a failed removal is a durability error, not noise.
                     if std::path::Path::new(path).exists() {
-                        // The run finished: a stale checkpoint would silently
-                        // replay the old state on the next invocation.
-                        let _ = std::fs::remove_file(path);
-                        println!("run saturated: checkpoint {path} removed");
+                        match std::fs::remove_file(path) {
+                            Ok(()) => println!("run saturated: checkpoint {path} removed"),
+                            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                            Err(e) => {
+                                eprintln!("cannot remove stale checkpoint {path}: {e}");
+                                return ExitCode::from(DURABILITY_FAILURE);
+                            }
+                        }
                     }
                     if let Some(journal) = &args.journal {
                         // Nothing left to recover either.
                         let _ = machine.take_journal();
-                        let _ = std::fs::remove_file(journal);
+                        match std::fs::remove_file(journal) {
+                            Ok(()) => {}
+                            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                            Err(e) => {
+                                eprintln!("cannot remove stale journal {journal}: {e}");
+                                return ExitCode::from(DURABILITY_FAILURE);
+                            }
+                        }
                     }
                 }
             }

@@ -815,3 +815,89 @@ fn conditions_reports_checker_work_counts() {
     // MFA reports how far the critical-instance chase ran.
     assert!(stdout.contains("applications,"), "{stdout}");
 }
+
+#[test]
+fn serve_and_flush_flags_are_validated_up_front() {
+    let path = write_rules("serve-flags.rules", "p(a, b). p(X, Y) -> p(Y, Z).");
+    let rules = path.to_str().unwrap();
+    // serve needs a store.
+    let (_, stderr, code) = run(&["serve"]);
+    assert_eq!(code, Some(2), "{stderr}");
+    assert!(stderr.contains("--store"), "{stderr}");
+    // ... and a store means serve.
+    let (_, stderr, code) = run(&["chase", rules, "--store", "/tmp/nope"]);
+    assert_eq!(code, Some(2), "{stderr}");
+    assert!(stderr.contains("--store"), "{stderr}");
+    // Group commit on a chase run needs a journal to group.
+    let (_, stderr, code) = run(&["chase", rules, "--journal-flush-every", "4"]);
+    assert_eq!(code, Some(2), "{stderr}");
+    assert!(stderr.contains("--journal-flush-every"), "{stderr}");
+    assert!(stderr.contains("--journal"), "{stderr}");
+    // Zero is not a batch size, a worker count, or a queue depth.
+    for flag in ["--journal-flush-every", "--workers", "--queue"] {
+        let (_, stderr, code) = run(&["serve", "--store", "/tmp/nope", flag, "0"]);
+        assert_eq!(code, Some(2), "{flag}: {stderr}");
+        assert!(stderr.contains(flag), "{flag}: {stderr}");
+    }
+}
+
+#[test]
+fn final_checkpoint_write_failure_exits_15_with_a_named_error() {
+    let path = write_rules("final-io.rules", "p(a, b). p(X, Y) -> p(Y, Z).");
+    let dir = std::env::temp_dir().join("chasekit-cli-tests");
+    let ckpt = dir.join("final-io.ckpt");
+    let _ = std::fs::remove_file(&ckpt);
+    // No periodic legs, so the only snapshot write is the final
+    // budget-exhausted publication — and it fails.
+    let (stdout, stderr, code) = run_env(
+        &[
+            "chase",
+            path.to_str().unwrap(),
+            "--steps",
+            "30",
+            "--checkpoint",
+            ckpt.to_str().unwrap(),
+        ],
+        &[("CHASEKIT_FAILPOINTS", "snapshot.write=error@1")],
+    );
+    assert_eq!(code, Some(15), "stdout: {stdout}\nstderr: {stderr}");
+    assert!(stderr.contains("cannot write checkpoint"), "{stderr}");
+    assert!(stderr.contains("snapshot.write"), "{stderr}");
+    assert!(!ckpt.exists(), "a failed atomic publication leaves no checkpoint");
+}
+
+#[test]
+fn recovery_publication_failure_exits_15() {
+    let path = write_rules("recover-io.rules", "p(a, b). p(X, Y) -> p(Y, Z).");
+    let rules = path.to_str().unwrap();
+    let dir = std::env::temp_dir().join("chasekit-cli-tests");
+    let ckpt = dir.join("recover-io.ckpt");
+    let journal = dir.join("recover-io.journal");
+    let _ = std::fs::remove_file(&ckpt);
+    let _ = std::fs::remove_file(&journal);
+    // Crash a journaled run, then make the recovery's snapshot rewrite fail:
+    // recovery must surface the durability failure, not claim success.
+    let (_, _, code) = run_env(
+        &[
+            "chase", rules, "--steps", "60",
+            "--checkpoint", ckpt.to_str().unwrap(),
+            "--journal", journal.to_str().unwrap(),
+            "--checkpoint-every", "20",
+        ],
+        &[("CHASEKIT_FAILPOINTS", "snapshot.rename=exit:9@1")],
+    );
+    assert_eq!(code, Some(9));
+    let (stdout, stderr, code) = run_env(
+        &[
+            "chase", rules, "--steps", "60",
+            "--checkpoint", ckpt.to_str().unwrap(),
+            "--journal", journal.to_str().unwrap(),
+            "--recover",
+        ],
+        &[("CHASEKIT_FAILPOINTS", "snapshot.write=error@1")],
+    );
+    assert_eq!(code, Some(15), "stdout: {stdout}\nstderr: {stderr}");
+    assert!(stderr.contains("snapshot.write"), "{stderr}");
+    let _ = std::fs::remove_file(&ckpt);
+    let _ = std::fs::remove_file(&journal);
+}

@@ -78,12 +78,13 @@ fn durable_run_until_crash(
     total: u64,
     ckpt: &Path,
     journal: &Path,
+    flush_every: u64,
 ) {
     let run = AssertUnwindSafe(|| {
         let cfg = ChaseConfig::of(variant);
         let mut machine = ChaseMachine::new(program, cfg, initial.clone());
         match JournalWriter::for_machine(journal, &machine) {
-            Ok(j) => machine.set_journal(j),
+            Ok(j) => machine.set_journal(j.with_flush_every(flush_every)),
             Err(_) => return, // crashed creating the journal
         }
         loop {
@@ -103,7 +104,7 @@ fn durable_run_until_crash(
                     return;
                 }
                 match JournalWriter::for_machine(journal, &machine) {
-                    Ok(j) => machine.set_journal(j),
+                    Ok(j) => machine.set_journal(j.with_flush_every(flush_every)),
                     Err(_) => return,
                 }
                 continue;
@@ -198,7 +199,7 @@ fn kill_at_every_failpoint_recovers_bit_identical() {
                     let _ = std::fs::remove_file(&journal);
                     failpoint::configure(plan).unwrap();
                     durable_run_until_crash(
-                        &program, variant, &initial, threads, EVERY, TOTAL, &ckpt, &journal,
+                        &program, variant, &initial, threads, EVERY, TOTAL, &ckpt, &journal, 1,
                     );
                     failpoint::clear();
                     let got = recover_and_finish(
@@ -209,6 +210,69 @@ fn kill_at_every_failpoint_recovers_bit_identical() {
                         "{}: {variant:?} diverged after `{plan}` @ {threads} threads",
                         family.name
                     );
+                }
+            }
+        }
+    }
+}
+
+/// The same kill-at-every-failpoint differential with journal group
+/// commit enabled: batching N records per `write(2)` may lose up to a
+/// buffered batch plus a torn line to a crash, but what survives is
+/// always a valid journal prefix — so recover-and-continue still lands
+/// bit-identical to the uninterrupted run. A reduced corpus slice keeps
+/// the sweep affordable; the fault plans and thread counts are the full
+/// set that exercises batching (`round.worker` needs fan-out).
+#[test]
+fn group_commit_kill_at_every_failpoint_recovers_bit_identical() {
+    let _g = failpoint_guard();
+    let dir = scratch("group-commit-differential");
+    let ckpt = dir.join("state.ckpt");
+    let journal = dir.join("state.journal");
+    const EVERY: u64 = 25;
+    const TOTAL: u64 = 120;
+
+    for family in chasekit::datagen::corpus().into_iter().take(4) {
+        let mut program = family.program;
+        let initial = seed(&mut program);
+        for variant in [ChaseVariant::SemiOblivious, ChaseVariant::Restricted] {
+            failpoint::clear();
+            let mut reference =
+                ChaseMachine::new(&program, ChaseConfig::of(variant), initial.clone());
+            reference.run(&budget(TOTAL));
+            let want = state_text(&reference);
+
+            for flush_every in [8u64, 64] {
+                for plan in FAULT_PLANS {
+                    for threads in [1usize, 4] {
+                        if plan.starts_with("round.worker") && threads == 1 {
+                            continue;
+                        }
+                        let _ = std::fs::remove_file(&ckpt);
+                        let _ = std::fs::remove_file(&journal);
+                        failpoint::configure(plan).unwrap();
+                        durable_run_until_crash(
+                            &program,
+                            variant,
+                            &initial,
+                            threads,
+                            EVERY,
+                            TOTAL,
+                            &ckpt,
+                            &journal,
+                            flush_every,
+                        );
+                        failpoint::clear();
+                        let got = recover_and_finish(
+                            &program, variant, &initial, threads, TOTAL, &ckpt, &journal,
+                        );
+                        assert_eq!(
+                            want, got,
+                            "{}: {variant:?} diverged after `{plan}` @ {threads} threads, \
+                             flush-every {flush_every}",
+                            family.name
+                        );
+                    }
                 }
             }
         }
@@ -304,7 +368,7 @@ fn recovered_continuation_traces_a_suffix_of_the_uninterrupted_trace() {
         let _ = std::fs::remove_file(&ckpt);
         let _ = std::fs::remove_file(&journal);
         failpoint::configure("journal.append=error@31").unwrap();
-        durable_run_until_crash(&program, variant, &initial, 1, 20, 80, &ckpt, &journal);
+        durable_run_until_crash(&program, variant, &initial, 1, 20, 80, &ckpt, &journal, 1);
         failpoint::clear();
 
         let snapshot_text = std::fs::read_to_string(&ckpt).ok();
