@@ -193,6 +193,23 @@ pub fn run_job(
     };
     machine.set_cancel_token(cancel);
 
+    if recovered {
+        // Republish the recovered state as the working snapshot *before*
+        // the journal is re-based on it (the CLI's `run_recovery` order).
+        // The re-base truncates the journal to base = recovered
+        // applications; if a second kill lands before the next leg
+        // publish, the old snapshot would trail that base and recover()
+        // would reject the pair as inconsistent, failing the job on every
+        // subsequent restart.
+        let text = machine
+            .snapshot()
+            .to_text()
+            .map_err(|e| format!("cannot serialize recovered snapshot: {e}"))?;
+        write_snapshot_atomic(&paths.state_checkpoint(), &text).map_err(|e| {
+            format!("cannot write checkpoint {}: {e}", paths.state_checkpoint().display())
+        })?;
+    }
+
     let journal = JournalWriter::for_machine(&paths.journal(), &machine)
         .map_err(|e| format!("cannot create journal {}: {e}", paths.journal().display()))?
         .with_flush_every(spec.flush_every);

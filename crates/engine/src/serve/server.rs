@@ -61,6 +61,18 @@ pub struct ServeConfig {
     pub defaults: JobSpec,
     /// Request-line byte cap (protocol trust boundary).
     pub max_line_bytes: usize,
+    /// Concurrent-connection cap: connections beyond it receive a
+    /// structured `too-many-connections` rejection and are closed, so a
+    /// client opening sockets in a loop cannot exhaust threads (admission
+    /// control bounds jobs; this bounds the front-end).
+    pub max_connections: usize,
+    /// Terminal job entries kept in memory. Older done/failed entries are
+    /// evicted; `status`/`wait` on an evicted completed job fall back to
+    /// its on-disk `result` marker, so eviction is invisible for anything
+    /// the store remembers.
+    pub terminal_retention: usize,
+    /// Result-cache capacity (entries; oldest evicted first).
+    pub cache_capacity: usize,
 }
 
 impl ServeConfig {
@@ -74,18 +86,25 @@ impl ServeConfig {
             queue_capacity: 16,
             defaults: JobSpec::server_default(),
             max_line_bytes: protocol::DEFAULT_MAX_LINE_BYTES,
+            max_connections: 64,
+            terminal_retention: 1024,
+            cache_capacity: 1024,
         }
     }
 }
 
 /// A job's lifecycle state. `queued -> running -> done | failed`;
 /// `cancel` is cooperative and lands as `done` with outcome `cancelled`.
+/// `interrupted` is the shutdown window only: the job is still in flight
+/// on disk and the next start recovers it, so it is neither done nor
+/// failed.
 #[derive(Debug, Clone)]
 enum Phase {
     Queued,
     Running,
     Done(JobResult),
     Failed(String),
+    Interrupted,
 }
 
 #[derive(Debug)]
@@ -109,6 +128,37 @@ struct Counters {
     cache_hits: AtomicU64,
 }
 
+/// The saturated-result cache, bounded: once `capacity` entries are held,
+/// each insert evicts the oldest. Insertion order is good enough here —
+/// the cache is a bandwidth saver, not a correctness layer, and every
+/// evicted result is still on disk for the next restart scan to re-prime.
+#[derive(Debug)]
+struct ResultCache {
+    capacity: usize,
+    map: HashMap<(u64, String), JobResult>,
+    order: VecDeque<(u64, String)>,
+}
+
+impl ResultCache {
+    fn new(capacity: usize) -> ResultCache {
+        ResultCache { capacity, map: HashMap::new(), order: VecDeque::new() }
+    }
+
+    fn get(&self, key: &(u64, String)) -> Option<&JobResult> {
+        self.map.get(key)
+    }
+
+    fn insert(&mut self, key: (u64, String), result: JobResult) {
+        if self.map.insert(key.clone(), result).is_none() {
+            self.order.push_back(key);
+        }
+        while self.map.len() > self.capacity {
+            let Some(old) = self.order.pop_front() else { break };
+            self.map.remove(&old);
+        }
+    }
+}
+
 struct Shared {
     config: ServeConfig,
     store: JobStore,
@@ -123,7 +173,12 @@ struct Shared {
     /// capacity bound is exact.
     admission: Mutex<()>,
     /// Saturated outcomes by (program fingerprint, variant token).
-    cache: Mutex<HashMap<(u64, String), JobResult>>,
+    cache: Mutex<ResultCache>,
+    /// Terminal job ids, oldest first, for bounded retention: the tail
+    /// beyond `terminal_retention` is evicted from `jobs`.
+    terminal_order: Mutex<VecDeque<String>>,
+    /// Live client connections (front-end cap, distinct from admission).
+    connections: std::sync::atomic::AtomicUsize,
     next_seq: AtomicU64,
     shutdown: AtomicBool,
     counters: Counters,
@@ -136,6 +191,16 @@ struct Shared {
 // mutated in small, complete critical sections).
 fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Releases one connection slot when its handler thread ends — by
+/// returning or by unwinding — so the cap never leaks slots.
+struct ConnSlot(Arc<Shared>);
+
+impl Drop for ConnSlot {
+    fn drop(&mut self) {
+        self.0.connections.fetch_sub(1, Ordering::AcqRel);
+    }
 }
 
 impl Shared {
@@ -213,7 +278,7 @@ pub fn serve(config: ServeConfig) -> std::io::Result<ServerHandle> {
         std::io::Error::other(format!("cannot scan job store {}: {e}", config.store.display()))
     })?;
 
-    let mut cache = HashMap::new();
+    let mut cache = ResultCache::new(config.cache_capacity);
     for (_, result) in &scan.completed {
         if result.outcome == StopReason::Saturated.keyword() {
             cache.insert((result.fingerprint, result.variant.clone()), result.clone());
@@ -251,6 +316,8 @@ pub fn serve(config: ServeConfig) -> std::io::Result<ServerHandle> {
         queue_cv: Condvar::new(),
         admission: Mutex::new(()),
         cache: Mutex::new(cache),
+        terminal_order: Mutex::new(VecDeque::new()),
+        connections: std::sync::atomic::AtomicUsize::new(0),
         next_seq: AtomicU64::new(scan.next_seq),
         shutdown: AtomicBool::new(false),
         counters: Counters::default(),
@@ -271,9 +338,22 @@ pub fn serve(config: ServeConfig) -> std::io::Result<ServerHandle> {
             if accept_shared.shutdown.load(Ordering::Acquire) {
                 break;
             }
-            let Ok(stream) = conn else { continue };
-            let conn_shared = Arc::clone(&accept_shared);
-            std::thread::spawn(move || handle_connection(&conn_shared, stream));
+            let Ok(mut stream) = conn else { continue };
+            let cap = accept_shared.config.max_connections.max(1);
+            if accept_shared.connections.fetch_add(1, Ordering::AcqRel) >= cap {
+                accept_shared.connections.fetch_sub(1, Ordering::AcqRel);
+                // Best-effort structured rejection on the accept thread; a
+                // short write timeout so a slow client cannot stall accepts.
+                let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+                let resp = error_response(
+                    "too-many-connections",
+                    &format!("connection limit {cap} reached; retry later"),
+                );
+                let _ = send_line(&mut stream, &resp);
+                continue;
+            }
+            let slot = ConnSlot(Arc::clone(&accept_shared));
+            std::thread::spawn(move || handle_connection(&slot.0, stream));
         }
     });
 
@@ -319,8 +399,9 @@ fn worker_loop(shared: &Arc<Shared>) {
             }
             Ok(Ok(None)) => {
                 // Interrupted by shutdown: leave the job in-flight on disk
-                // (no result marker) so the next start recovers it.
-                Phase::Failed("interrupted by shutdown; will recover on restart".to_string())
+                // (no result marker) so the next start recovers it, and
+                // report it as such — not as a failure.
+                Phase::Interrupted
             }
             Ok(Err(msg)) => {
                 shared.counters.failed.fetch_add(1, Ordering::Relaxed);
@@ -338,8 +419,23 @@ fn worker_loop(shared: &Arc<Shared>) {
         };
         {
             let mut jobs = lock(&shared.jobs);
+            let terminal = matches!(phase, Phase::Done(_) | Phase::Failed(_));
             if let Some(entry) = jobs.get_mut(&id) {
                 entry.phase = phase;
+            }
+            // Bounded retention: evict the oldest terminal entries beyond
+            // the cap (inside the same critical section, so anyone who
+            // observes this job terminal also observes the eviction).
+            // Evicted completed jobs still answer from their on-disk
+            // result marker; interrupted jobs are never evicted — they
+            // are still in flight.
+            if terminal {
+                let mut order = lock(&shared.terminal_order);
+                order.push_back(id.clone());
+                while order.len() > shared.config.terminal_retention {
+                    let Some(old) = order.pop_front() else { break };
+                    jobs.remove(&old);
+                }
             }
         }
         shared.done_cv.notify_all();
@@ -526,6 +622,11 @@ fn cache_serves(cached: &JobResult, spec: &JobSpec) -> bool {
         && cached.applications <= spec.steps
         && spec.max_atoms.is_none_or(|cap| cached.atoms <= cap as u64)
         && spec.max_memory.is_none() // peak memory is not recorded; be conservative
+        // A wall-clock deadline could have stopped a live run before the
+        // fixpoint; run-time is not recorded, so a request with a timeout
+        // always runs for real — identical submissions must not flip
+        // between `saturated` and `wall-clock` on cache warmth.
+        && spec.timeout_ms.is_none()
 }
 
 fn handle_submit(
@@ -683,13 +784,9 @@ fn stream_job(
 }
 
 fn job_response(shared: &Arc<Shared>, id: &str) -> String {
-    let jobs = lock(&shared.jobs);
-    match jobs.get(id) {
-        None => protocol::response(
-            false,
-            &[("error", Value::Str("unknown-job".into())), ("job", Value::Str(id.into()))],
-        ),
-        Some(entry) => {
+    {
+        let jobs = lock(&shared.jobs);
+        if let Some(entry) = jobs.get(id) {
             let mut fields: Vec<(&str, Value)> = vec![("job", Value::Str(id.into()))];
             match &entry.phase {
                 Phase::Queued => fields.push(("state", Value::Str("queued".into()))),
@@ -705,10 +802,50 @@ fn job_response(shared: &Arc<Shared>, id: &str) -> String {
                     fields.push(("state", Value::Str("failed".into())));
                     fields.push(("detail", Value::Str(msg.clone())));
                 }
+                Phase::Interrupted => {
+                    fields.push(("state", Value::Str("interrupted".into())));
+                    fields.push((
+                        "detail",
+                        Value::Str(
+                            "interrupted by server shutdown; \
+                             still in flight on disk, recovers on restart"
+                                .into(),
+                        ),
+                    ));
+                }
             }
-            protocol::response(true, &fields)
+            return protocol::response(true, &fields);
         }
     }
+    // Not in memory: a completed job evicted by terminal retention (or
+    // finished before a restart) still answers from its on-disk result
+    // marker. The id is validated as one of ours before it touches a path.
+    if is_job_id(id) {
+        if let Ok(Some(result)) = shared.store.read_result(id) {
+            return protocol::response(
+                true,
+                &[
+                    ("job", Value::Str(id.into())),
+                    ("state", Value::Str("done".into())),
+                    ("outcome", Value::Str(result.outcome.clone())),
+                    ("applications", Value::Num(result.applications)),
+                    ("atoms", Value::Num(result.atoms)),
+                    ("nulls", Value::Num(result.nulls)),
+                ],
+            );
+        }
+    }
+    protocol::response(
+        false,
+        &[("error", Value::Str("unknown-job".into())), ("job", Value::Str(id.into()))],
+    )
+}
+
+/// Whether a client-supplied job id has the `job-<seq>` shape the store
+/// generates — anything else never reaches the filesystem.
+fn is_job_id(id: &str) -> bool {
+    id.strip_prefix("job-")
+        .is_some_and(|n| !n.is_empty() && n.len() <= 20 && n.bytes().all(|b| b.is_ascii_digit()))
 }
 
 fn handle_wait(shared: &Arc<Shared>, stream: &mut TcpStream, id: &str) -> bool {
@@ -716,7 +853,14 @@ fn handle_wait(shared: &Arc<Shared>, stream: &mut TcpStream, id: &str) -> bool {
     loop {
         match jobs.get(id) {
             None => break,
-            Some(entry) if matches!(entry.phase, Phase::Done(_) | Phase::Failed(_)) => break,
+            Some(entry)
+                if matches!(
+                    entry.phase,
+                    Phase::Done(_) | Phase::Failed(_) | Phase::Interrupted
+                ) =>
+            {
+                break
+            }
             Some(_) => {
                 if shared.shutdown.load(Ordering::Acquire) {
                     drop(jobs);

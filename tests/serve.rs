@@ -315,6 +315,174 @@ fn saturated_results_are_cached_by_fingerprint() {
     handle.shutdown();
 }
 
+#[test]
+fn cached_results_do_not_answer_deadline_bounded_submissions() {
+    let dir = scratch("cache-timeout");
+    let handle = start(&dir.join("store"), |_| {});
+    let mut c = Client::connect(handle.addr());
+
+    let submit = format!(r#"{{"op":"submit","program":{},"steps":500}}"#, json_str(SATURATING));
+    let first = c.round_trip(&submit);
+    assert!(first.ok());
+    let job = first.str("job").unwrap().to_string();
+    let done = c.round_trip(&format!(r#"{{"op":"wait","job":"{job}"}}"#));
+    assert_eq!(done.str("outcome"), Some("saturated"));
+
+    // The cache is warm, but a deadline-bounded submission must run for
+    // real: a cached `saturated` cannot prove a live run would have beaten
+    // the clock, and identical requests must not flip outcome on warmth.
+    let bounded = c.round_trip(&format!(
+        r#"{{"op":"submit","program":{},"steps":500,"timeout_ms":60000}}"#,
+        json_str(SATURATING)
+    ));
+    assert!(bounded.ok());
+    assert!(bounded.num("cached").is_none(), "deadline-bounded submit must bypass the cache");
+    let job = bounded.str("job").expect("deadline-bounded submit runs a job").to_string();
+    let done = c.round_trip(&format!(r#"{{"op":"wait","job":"{job}"}}"#));
+    assert_eq!(done.str("outcome"), Some("saturated"));
+
+    // Without a deadline the resubmission still hits the cache.
+    let cached = c.round_trip(&submit);
+    assert_eq!(cached.num("cached"), Some(1));
+    let stats = c.round_trip(r#"{"op":"stats"}"#);
+    assert_eq!(stats.num("cache_hits"), Some(1));
+    handle.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Bounded in-memory state: terminal retention and the connection cap.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn evicted_terminal_jobs_still_answer_from_the_store() {
+    let dir = scratch("eviction");
+    let handle = start(&dir.join("store"), |c| {
+        c.workers = 1;
+        c.terminal_retention = 1;
+    });
+    let mut c = Client::connect(handle.addr());
+
+    let submit = format!(
+        r#"{{"op":"submit","program":{},"steps":40,"fresh":1}}"#,
+        json_str(DIVERGING)
+    );
+    let first = c.round_trip(&submit);
+    assert!(first.ok());
+    let job_a = first.str("job").unwrap().to_string();
+    let done = c.round_trip(&format!(r#"{{"op":"wait","job":"{job_a}"}}"#));
+    assert_eq!(done.str("state"), Some("done"));
+    let second = c.round_trip(&submit);
+    assert!(second.ok());
+    let job_b = second.str("job").unwrap().to_string();
+    let done = c.round_trip(&format!(r#"{{"op":"wait","job":"{job_b}"}}"#));
+    assert_eq!(done.str("state"), Some("done"));
+
+    // With retention 1, observing job B terminal implies job A was evicted
+    // from memory (same critical section) — yet status and wait still
+    // answer from its on-disk result marker, indistinguishably.
+    let status = c.round_trip(&format!(r#"{{"op":"status","job":"{job_a}"}}"#));
+    assert!(status.ok(), "evicted completed job must still answer: {:?}", status.str("error"));
+    assert_eq!(status.str("state"), Some("done"));
+    assert_eq!(status.str("outcome"), Some("applications"));
+    assert_eq!(status.num("applications"), Some(40));
+    let wait = c.round_trip(&format!(r#"{{"op":"wait","job":"{job_a}"}}"#));
+    assert_eq!(wait.str("state"), Some("done"));
+
+    // Ids that never existed stay unknown, and hostile ids never reach
+    // the filesystem.
+    for id in ["job-999", "../outside", "job-", "job-1x", ""] {
+        let missing = c.round_trip(&format!(r#"{{"op":"status","job":{}}}"#, json_str(id)));
+        assert!(!missing.ok(), "{id:?}");
+        assert_eq!(missing.str("error"), Some("unknown-job"), "{id:?}");
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn connection_cap_rejects_structurally_and_frees_slots() {
+    let dir = scratch("conn-cap");
+    let handle = start(&dir.join("store"), |c| c.max_connections = 2);
+
+    let mut c1 = Client::connect(handle.addr());
+    let mut c2 = Client::connect(handle.addr());
+    assert!(c1.round_trip(r#"{"op":"stats"}"#).ok());
+    assert!(c2.round_trip(r#"{"op":"stats"}"#).ok());
+
+    // The third connection gets a structured rejection and is closed —
+    // no handler thread is spawned for it.
+    let mut c3 = Client::connect(handle.addr());
+    let resp = Fields::parse(&c3.read_line());
+    assert!(!resp.ok());
+    assert_eq!(resp.str("error"), Some("too-many-connections"));
+    let mut rest = String::new();
+    assert_eq!(c3.reader.read_line(&mut rest).unwrap(), 0, "rejected connection is closed");
+
+    // A disconnecting client frees its slot (when its handler notices the
+    // EOF), and the server admits connections again.
+    drop(c1);
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        // A rejected connection may be closed before our request is even
+        // sent, so both the write and the read are fallible probes here.
+        let mut c = Client::connect(handle.addr());
+        let _ = c.stream.write_all(b"{\"op\":\"stats\"}\n");
+        let mut line = String::new();
+        let served = match c.reader.read_line(&mut line) {
+            Ok(n) if n > 0 => {
+                let resp = Fields::parse(line.trim_end());
+                if !resp.ok() {
+                    assert_eq!(resp.str("error"), Some("too-many-connections"));
+                }
+                resp.ok()
+            }
+            _ => false,
+        };
+        if served {
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "slot never freed after disconnect");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn shutdown_interrupted_jobs_report_interrupted_not_failed() {
+    let dir = scratch("interrupted");
+    let handle = start(&dir.join("store"), |c| c.workers = 1);
+    let mut c = Client::connect(handle.addr());
+
+    // An effectively-endless job, then wait until the worker picked it up.
+    let resp = c.round_trip(&format!(
+        r#"{{"op":"submit","program":{},"steps":4000000000,"fresh":1}}"#,
+        json_str(DIVERGING)
+    ));
+    assert!(resp.ok());
+    let job = resp.str("job").unwrap().to_string();
+    loop {
+        let s = c.round_trip(&format!(r#"{{"op":"status","job":"{job}"}}"#));
+        if s.str("state") == Some("running") {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // Shutdown cancels the job cooperatively; the worker pool drains
+    // before `shutdown` returns. Existing connections keep answering.
+    handle.shutdown();
+    let s = c.round_trip(&format!(r#"{{"op":"status","job":"{job}"}}"#));
+    assert!(s.ok());
+    assert_eq!(
+        s.str("state"),
+        Some("interrupted"),
+        "a shutdown-interrupted job is in flight, not failed: {:?}",
+        s.str("detail")
+    );
+    // And on disk it really is still in flight: no result marker, so the
+    // next start's scan recovers it.
+    assert!(!dir.join("store").join(&job).join("result").exists());
+}
+
 // ---------------------------------------------------------------------------
 // Trace streaming.
 // ---------------------------------------------------------------------------

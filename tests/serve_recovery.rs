@@ -252,6 +252,47 @@ fn kill_at_every_server_failpoint_recovers_bit_identical() {
     }
 }
 
+/// The double-kill window: the first kill lands mid-leg, so the journal
+/// holds records past the last published snapshot. Recovery replays them
+/// and re-bases the journal at the recovered application count — and the
+/// second kill lands right after that re-base, *before* the next leg
+/// publish. If recovery re-based without first republishing the recovered
+/// snapshot, the disk would now say snapshot(N) + journal(base M > N),
+/// which `recover()` rejects as inconsistent: the job would fail on every
+/// restart forever. The third start proves the window is consistent.
+#[test]
+fn kill_again_right_after_recovery_rebase_still_recovers() {
+    const STEPS: u64 = 120;
+    let dir = scratch("double-kill");
+    let want = solo_reference(&dir, STEPS);
+    let store = dir.join("store");
+
+    // Kill 1: append 40 with --checkpoint-every 25 is mid-leg 2, so the
+    // journal is strictly ahead of the published snapshot (25 apps).
+    let mut server = Server::spawn(&store, Some("journal.append=exit:9@40"));
+    let mut c = server.connect();
+    let job = submit(&mut c, STEPS).expect("the submission is acknowledged before the kill");
+    let _ = c.send(&format!(r#"{{"op":"wait","job":"{job}"}}"#));
+    let _ = c.read_line();
+    assert_eq!(server.wait_for_death(Duration::from_secs(30)), 9);
+    drop(server);
+
+    // Kill 2: the restarted server recovers the job and dies on the very
+    // first journal append — after the recovery re-base, before any leg
+    // publish.
+    let mut server = Server::spawn(&store, Some("journal.append=exit:9@1"));
+    assert_eq!(server.read_recovered(), job);
+    assert_eq!(server.wait_for_death(Duration::from_secs(30)), 9);
+    drop(server);
+
+    // Third start: the twice-killed job still recovers, completes, and is
+    // bit-identical to the uninterrupted solo run.
+    let mut server = Server::spawn(&store, None);
+    assert_eq!(server.read_recovered(), job);
+    finish_and_compare(&server, &store, &job, STEPS, &want);
+    server.shutdown();
+}
+
 /// A kill *before* the `meta` marker lands (the very first atomic write of
 /// admission) leaves an unadmitted directory: the client was never acked,
 /// so the restart scan must discard it — and must not replay it as a job.
