@@ -3,10 +3,24 @@
 //! Chases a random guarded population (the E4 generator dials) on critical
 //! instances at 1, 2, 4, and 8 worker threads, checks that every threaded
 //! run is bit-identical to the sequential oracle, and records wall-clock
-//! medians plus the t4 speedup in `BENCH_parallel_chase.json` at the repo
-//! root. The host core count is recorded alongside the numbers: scaling is
-//! physically bounded by it, so a single-core CI box honestly reports
-//! speedup ≈ 1 while the same file shows ≥2× on multi-core hardware.
+//! medians in `BENCH_parallel_chase.json` at the repo root. The host core
+//! count decides what gets recorded: scaling is physically bounded by it,
+//! so on a single-core host the multi-thread sweep and the t4 speedup are
+//! **skipped** (marked `"skipped": "single-core host"`) rather than
+//! reported as numbers that read like a regression. A single-core host
+//! instead records `single_core_t2_overhead` — the t2/t1 ratio, which
+//! isolates pure orchestration cost (the persistent pool keeps it near 1;
+//! the old per-round spawn made it 16×).
+//!
+//! The file also carries an `ablation/indexed_matching` row comparing the
+//! current sequential median against the seed data layout's committed
+//! baseline (13184 µs at commit c19b342, same workload/budget/host) — the
+//! before/after for the interned-arena + columnar-postings rebuild.
+//!
+//! Set `CHASEKIT_BENCH_QUICK=1` for a smoke run (fewer seeds, smaller
+//! budget, fewer repeats): it exercises every code path and still writes
+//! the JSON (marked `"quick": true`) without touching the committed
+//! numbers' workload — CI uses it to catch bench-plumbing breakage.
 
 use std::hint::black_box;
 use std::time::Instant;
@@ -19,11 +33,21 @@ use chasekit_engine::{Budget, ChaseConfig, ChaseMachine, ChaseVariant};
 
 const THREADS: [usize; 4] = [1, 2, 4, 8];
 
+/// Sequential median on this workload at the seed data layout (owned-atom
+/// storage, tuple-keyed postings, per-round `thread::scope`), committed in
+/// BENCH_parallel_chase.json at c19b342. Same dials, same budget.
+const SEED_LAYOUT_T1_US: u64 = 13_184;
+
+fn quick() -> bool {
+    std::env::var("CHASEKIT_BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
 /// The E4 population dials, biased toward wide guards so trigger discovery
 /// (the parallel phase) dominates the round time.
 fn population() -> Vec<Program> {
     let cfg = RandomConfig { predicates: 4, max_arity: 3, rules: 4, ..Default::default() };
-    (0..12)
+    let seeds = if quick() { 2 } else { 12 };
+    (0..seeds)
         .map(|seed| {
             let mut p = random_guarded(&cfg, 90_000 + seed);
             // Freeze the critical-instance constant into the program now so
@@ -35,7 +59,8 @@ fn population() -> Vec<Program> {
 }
 
 fn budget() -> Budget {
-    Budget { max_applications: 1_500, max_atoms: 30_000, ..Budget::unlimited() }
+    let (apps, atoms) = if quick() { (200, 5_000) } else { (1_500, 30_000) };
+    Budget { max_applications: apps, max_atoms: atoms, ..Budget::unlimited() }
 }
 
 /// One full chase of `program` at `threads`; returns (applications, atoms)
@@ -57,11 +82,24 @@ fn sweep_us(programs: &[Program], threads: usize) -> u64 {
     start.elapsed().as_micros() as u64
 }
 
+/// Median of repeated sweeps.
+fn median_us(programs: &[Program], threads: usize) -> u64 {
+    let repeats = if quick() { 3 } else { 5 };
+    let mut runs: Vec<u64> = (0..repeats).map(|_| sweep_us(programs, threads)).collect();
+    runs.sort_unstable();
+    runs[runs.len() / 2]
+}
+
 fn bench_parallel_chase(c: &mut Criterion) {
     let programs = population();
+    let host_cpus =
+        std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
+    let multi_core = host_cpus > 1;
 
     // Bit-identity sanity before timing anything: every thread count must
-    // land on the identical (applications, atoms) fingerprint.
+    // land on the identical (applications, atoms) fingerprint — this runs
+    // on every host, single-core included; only the *timings* are skipped
+    // there.
     let oracle: Vec<(u64, usize)> = programs.iter().map(|p| chase_once(p, 1)).collect();
     for &threads in &THREADS[1..] {
         for (p, expect) in programs.iter().zip(&oracle) {
@@ -69,9 +107,10 @@ fn bench_parallel_chase(c: &mut Criterion) {
         }
     }
 
+    let timed_threads: &[usize] = if multi_core { &THREADS } else { &THREADS[..1] };
     let mut group = c.benchmark_group("parallel_chase/e4_guarded");
     group.sample_size(10);
-    for &threads in &THREADS {
+    for &threads in timed_threads {
         group.bench_with_input(
             BenchmarkId::from_parameter(threads),
             &threads,
@@ -82,29 +121,69 @@ fn bench_parallel_chase(c: &mut Criterion) {
 
     // Honest medians for the JSON record (criterion's stub reports its own
     // numbers; these are measured independently so the file stands alone).
-    let median = |threads: usize| -> u64 {
-        let mut runs: Vec<u64> = (0..5).map(|_| sweep_us(&programs, threads)).collect();
-        runs.sort_unstable();
-        runs[runs.len() / 2]
-    };
-    let medians: Vec<(usize, u64)> = THREADS.iter().map(|&t| (t, median(t))).collect();
-    let t1 = medians[0].1.max(1) as f64;
-    let speedup_t4 =
-        t1 / medians.iter().find(|(t, _)| *t == 4).map(|&(_, us)| us.max(1)).unwrap() as f64;
+    let medians: Vec<(usize, u64)> =
+        timed_threads.iter().map(|&t| (t, median_us(&programs, t))).collect();
+    let t1 = medians[0].1.max(1);
 
-    let host_cpus =
-        std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
-    let threads_json: Vec<String> = medians
-        .iter()
-        .map(|(t, us)| format!("    {{\"threads\": {t}, \"median_us\": {us}}}"))
-        .collect();
+    // Sweep rows + t4 speedup: only meaningful with real cores to scale
+    // onto. On a single-core host they are replaced by a skip marker and a
+    // t2/t1 overhead diagnostic (pure orchestration cost — the number the
+    // persistent pool exists to crush).
+    let (sweep_json, speedup_json) = if multi_core {
+        let rows: Vec<String> = medians
+            .iter()
+            .map(|(t, us)| format!("    {{\"threads\": {t}, \"median_us\": {us}}}"))
+            .collect();
+        let t4 = medians.iter().find(|(t, _)| *t == 4).map(|&(_, us)| us.max(1)).unwrap();
+        let speedup = t1 as f64 / t4 as f64;
+        (
+            format!("  \"sweeps\": [\n{}\n  ],\n", rows.join(",\n")),
+            format!("  \"speedup_t4_vs_t1\": {speedup:.3},\n"),
+        )
+    } else {
+        let t2 = median_us(&programs, 2).max(1);
+        let overhead = t2 as f64 / t1 as f64;
+        (
+            [
+                format!("  \"sweeps\": [\n    {{\"threads\": 1, \"median_us\": {t1}}}\n  ],\n"),
+                "  \"multi_thread_sweep\": {\"skipped\": \"single-core host\"},\n".to_string(),
+                format!("  \"single_core_t2_overhead\": {overhead:.3},\n"),
+            ]
+            .concat(),
+            "  \"speedup_t4_vs_t1\": {\"skipped\": \"single-core host\"},\n".to_string(),
+        )
+    };
+
+    // Before/after for the storage rebuild: sequential median on the new
+    // interned layout vs. the committed seed-layout baseline.
+    let vs_seed = SEED_LAYOUT_T1_US as f64 / t1 as f64;
+    let ablation_json = format!(
+        "  \"ablation\": {{\"indexed_matching\": {{\"seed_layout_t1_us\": {SEED_LAYOUT_T1_US}, \
+         \"seed_layout_commit\": \"c19b342\", \"interned_layout_t1_us\": {t1}, \
+         \"speedup_vs_seed\": {vs_seed:.3}}}}},\n"
+    );
+
+    let workload = if quick() {
+        "e4-guarded critical-instance chase, 2 seeds, semi-oblivious (QUICK smoke — numbers not comparable)"
+    } else {
+        "e4-guarded critical-instance chase, 12 seeds, semi-oblivious"
+    };
+    let budget_json = if quick() {
+        "{\"max_applications\": 200, \"max_atoms\": 5000}"
+    } else {
+        "{\"max_applications\": 1500, \"max_atoms\": 30000}"
+    };
     let json = format!(
-        "{{\n  \"bench\": \"parallel_chase\",\n  \"workload\": \"e4-guarded critical-instance chase, 12 seeds, semi-oblivious\",\n  \"budget\": {{\"max_applications\": 1500, \"max_atoms\": 30000}},\n  \"host_cpus\": {host_cpus},\n  \"bit_identical_across_threads\": true,\n  \"note\": \"speedup is bounded by host_cpus; on a single-core host the sweep measures per-round fan-out overhead only, so speedup < 1 there is expected\",\n  \"sweeps\": [\n{}\n  ],\n  \"speedup_t4_vs_t1\": {speedup_t4:.3}\n}}\n",
-        threads_json.join(",\n")
+        "{{\n  \"bench\": \"parallel_chase\",\n  \"workload\": \"{workload}\",\n  \
+         \"budget\": {budget_json},\n  \"quick\": {},\n  \"host_cpus\": {host_cpus},\n  \
+         \"bit_identical_across_threads\": true,\n  \
+         \"note\": \"speedup is bounded by host_cpus; single-core hosts skip the sweep and record pure t2 orchestration overhead instead\",\n\
+         {sweep_json}{speedup_json}{ablation_json}  \"unit\": \"us\"\n}}\n",
+        quick()
     );
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_parallel_chase.json");
     std::fs::write(out, &json).expect("write BENCH_parallel_chase.json");
-    eprintln!("parallel_chase: host_cpus = {host_cpus}, speedup(t4) = {speedup_t4:.3}");
+    eprintln!("parallel_chase: host_cpus = {host_cpus}, t1 = {t1}us, vs seed layout = {vs_seed:.3}x");
     eprintln!("parallel_chase: wrote {out}");
 }
 

@@ -84,6 +84,83 @@ impl Atom {
     pub fn mentions(&self, t: Term) -> bool {
         self.args.contains(&t)
     }
+
+    /// A borrowed view of the atom.
+    #[inline]
+    pub fn as_ref(&self) -> AtomRef<'_> {
+        AtomRef { pred: self.pred, args: &self.args }
+    }
+}
+
+/// A borrowed atom: a predicate plus an argument slice.
+///
+/// [`crate::Instance`] stores atoms interned into a shared term arena, so
+/// resolving an id yields this zero-copy view instead of an owned
+/// [`Atom`]. It is `Copy` (two words) and compares equal to owned atoms
+/// with the same predicate and arguments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AtomRef<'a> {
+    /// The predicate.
+    pub pred: PredId,
+    /// The argument tuple, borrowed from the owning arena.
+    pub args: &'a [Term],
+}
+
+impl AtomRef<'_> {
+    /// The number of argument positions.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.args.len()
+    }
+
+    /// Whether every argument is ground (constant or null).
+    pub fn is_ground(&self) -> bool {
+        self.args.iter().all(|t| t.is_ground())
+    }
+
+    /// Iterates over the distinct nulls of the atom, in first-occurrence
+    /// order.
+    pub fn nulls(&self) -> Vec<NullId> {
+        let mut out = Vec::new();
+        for t in self.args {
+            if let Term::Null(n) = *t {
+                if !out.contains(&n) {
+                    out.push(n);
+                }
+            }
+        }
+        out
+    }
+
+    /// Returns `true` if the atom mentions the given term.
+    pub fn mentions(&self, t: Term) -> bool {
+        self.args.contains(&t)
+    }
+
+    /// Applies `f` to every argument, producing an owned atom.
+    pub fn map_args(&self, mut f: impl FnMut(Term) -> Term) -> Atom {
+        Atom {
+            pred: self.pred,
+            args: self.args.iter().map(|&t| f(t)).collect(),
+        }
+    }
+
+    /// Copies the view into an owned [`Atom`].
+    pub fn to_atom(&self) -> Atom {
+        Atom { pred: self.pred, args: self.args.to_vec() }
+    }
+}
+
+impl PartialEq<Atom> for AtomRef<'_> {
+    fn eq(&self, other: &Atom) -> bool {
+        self.pred == other.pred && self.args == other.args.as_slice()
+    }
+}
+
+impl PartialEq<AtomRef<'_>> for Atom {
+    fn eq(&self, other: &AtomRef<'_>) -> bool {
+        other == self
+    }
 }
 
 #[cfg(test)]

@@ -6,7 +6,7 @@
 
 use std::fmt::Write as _;
 
-use crate::atom::Atom;
+use crate::atom::{Atom, AtomRef};
 use crate::instance::Instance;
 use crate::program::Program;
 use crate::rule::Tgd;
@@ -28,6 +28,13 @@ pub fn term_to_string(t: Term, vocab: &Vocabulary, rule: Option<&Tgd>) -> String
 
 /// Renders an atom.
 pub fn atom_to_string(a: &Atom, vocab: &Vocabulary, rule: Option<&Tgd>) -> String {
+    atom_ref_to_string(a.as_ref(), vocab, rule)
+}
+
+/// Renders a borrowed atom view (what [`Instance::atom`] resolves to).
+///
+/// [`Instance::atom`]: crate::Instance::atom
+pub fn atom_ref_to_string(a: AtomRef<'_>, vocab: &Vocabulary, rule: Option<&Tgd>) -> String {
     let mut s = String::new();
     s.push_str(vocab.pred_name(a.pred));
     if !a.args.is_empty() {
@@ -104,7 +111,7 @@ pub fn json_string(s: &str) -> String {
 pub fn instance_to_string(instance: &Instance, vocab: &Vocabulary) -> String {
     let mut s = String::new();
     for (_, a) in instance.iter() {
-        let _ = writeln!(s, "{}", atom_to_string(a, vocab, None));
+        let _ = writeln!(s, "{}", atom_ref_to_string(a, vocab, None));
     }
     s
 }

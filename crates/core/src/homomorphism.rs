@@ -7,13 +7,13 @@
 
 use std::ops::ControlFlow;
 
-use crate::atom::Atom;
+use crate::atom::{Atom, AtomRef};
 use crate::ids::{AtomId, VarId};
 use crate::instance::Instance;
 use crate::term::Term;
 
 /// A partial assignment of rule variables to ground terms.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct Substitution {
     slots: Vec<Option<Term>>,
 }
@@ -22,6 +22,21 @@ impl Substitution {
     /// Creates an empty substitution over `var_count` variables.
     pub fn new(var_count: usize) -> Self {
         Substitution { slots: vec![None; var_count] }
+    }
+
+    /// Clears all bindings and resizes to `var_count` slots, reusing the
+    /// existing allocation.
+    #[inline]
+    pub fn reset(&mut self, var_count: usize) {
+        self.slots.clear();
+        self.slots.resize(var_count, None);
+    }
+
+    /// Makes `self` a copy of `other`, reusing the existing allocation.
+    #[inline]
+    pub fn copy_from(&mut self, other: &Substitution) {
+        self.slots.clear();
+        self.slots.extend_from_slice(&other.slots);
     }
 
     /// Returns the binding of `v`, if any.
@@ -127,9 +142,9 @@ impl<'a> InstanceView<'a> {
         self.len == 0
     }
 
-    /// Resolves a visible id to its atom.
+    /// Resolves a visible id to a zero-copy view of its atom.
     #[inline]
-    pub fn atom(&self, id: AtomId) -> &'a Atom {
+    pub fn atom(&self, id: AtomId) -> AtomRef<'a> {
         debug_assert!(id.index() < self.len, "atom {id:?} is beyond the view horizon");
         self.instance.atom(id)
     }
@@ -170,13 +185,13 @@ impl<'a> InstanceView<'a> {
 /// that every binding it added is recorded there.
 fn unify_atom(
     pattern: &Atom,
-    fact: &Atom,
+    fact: AtomRef<'_>,
     subst: &mut Substitution,
     trail: &mut Vec<VarId>,
 ) -> bool {
     debug_assert_eq!(pattern.pred, fact.pred);
     debug_assert_eq!(pattern.arity(), fact.arity());
-    for (p, f) in pattern.args.iter().zip(&fact.args) {
+    for (p, f) in pattern.args.iter().zip(fact.args) {
         match *p {
             Term::Var(v) => match subst.get(v) {
                 Some(bound) => {
@@ -219,6 +234,21 @@ fn candidates<'i>(pattern: &Atom, subst: &Substitution, view: &InstanceView<'i>)
     best.unwrap_or_else(|| view.with_pred(pattern.pred))
 }
 
+/// Reusable matcher state: substitution slots, the remaining-atom
+/// permutation, and the binding trail.
+///
+/// Enumeration through the `_scratch` entry points resets and reuses these
+/// buffers, so steady-state matching performs no heap allocation at all —
+/// each chase worker (and the sequential engine) owns one scratch for its
+/// whole run. A fresh `MatchScratch::default()` is equally valid; the
+/// scratch-free wrappers construct one per call.
+#[derive(Debug, Default, Clone)]
+pub struct MatchScratch {
+    subst: Substitution,
+    remaining: Vec<usize>,
+    trail: Vec<VarId>,
+}
+
 /// Enumerates homomorphisms from the conjunction `atoms` into `instance`.
 ///
 /// * `var_count` — number of variable slots (from the owning rule).
@@ -254,15 +284,32 @@ pub fn for_each_hom_view(
     pinned: Option<(usize, AtomId)>,
     f: &mut dyn FnMut(&Substitution) -> ControlFlow<()>,
 ) -> bool {
-    let mut subst = match init {
+    let mut scratch = MatchScratch::default();
+    for_each_hom_scratch(atoms, var_count, view, init, pinned, &mut scratch, f)
+}
+
+/// [`for_each_hom_view`] with caller-owned scratch buffers: identical
+/// enumeration, zero allocation once the scratch has warmed up.
+pub fn for_each_hom_scratch(
+    atoms: &[Atom],
+    var_count: usize,
+    view: &InstanceView<'_>,
+    init: Option<&Substitution>,
+    pinned: Option<(usize, AtomId)>,
+    scratch: &mut MatchScratch,
+    f: &mut dyn FnMut(&Substitution) -> ControlFlow<()>,
+) -> bool {
+    let MatchScratch { subst, remaining, trail } = scratch;
+    match init {
         Some(s) => {
             debug_assert_eq!(s.len(), var_count);
-            s.clone()
+            subst.copy_from(s);
         }
-        None => Substitution::new(var_count),
-    };
-    let mut remaining: Vec<usize> = (0..atoms.len()).collect();
-    let mut trail: Vec<VarId> = Vec::new();
+        None => subst.reset(var_count),
+    }
+    remaining.clear();
+    remaining.extend(0..atoms.len());
+    trail.clear();
 
     // Pin first if requested: unify atoms[i] with the given fact up front.
     if let Some((idx, fact_id)) = pinned {
@@ -271,7 +318,7 @@ pub fn for_each_hom_view(
             return true;
         }
         let mark = trail.len();
-        if !unify_atom(&atoms[idx], fact, &mut subst, &mut trail) {
+        if !unify_atom(&atoms[idx], fact, subst, trail) {
             for v in trail.drain(mark..) {
                 subst.unbind(v);
             }
@@ -299,9 +346,11 @@ pub fn for_each_hom_view(
             .min_by_key(|&(_, n)| n)
             .expect("remaining is non-empty");
         let atom_idx = remaining.swap_remove(slot);
-        let cands: Vec<AtomId> = candidates(&atoms[atom_idx], subst, view).to_vec();
+        // The posting borrows the instance, not the substitution, so it can
+        // be walked in place while bindings change — no copy needed.
+        let cands = candidates(&atoms[atom_idx], subst, view);
 
-        for fact_id in cands {
+        for &fact_id in cands {
             let fact = view.atom(fact_id);
             if fact.arity() != atoms[atom_idx].arity() {
                 continue;
@@ -329,7 +378,7 @@ pub fn for_each_hom_view(
         ControlFlow::Continue(())
     }
 
-    recurse(atoms, &mut remaining, &mut subst, &mut trail, view, f).is_continue()
+    recurse(atoms, remaining, subst, trail, view, f).is_continue()
 }
 
 /// Collects all homomorphisms from `atoms` into `instance`.
@@ -355,9 +404,27 @@ pub fn exists_extension(
     instance: &Instance,
     init: &Substitution,
 ) -> bool {
-    !for_each_hom(atoms, var_count, instance, Some(init), None, &mut |_| {
-        ControlFlow::Break(())
-    })
+    let mut scratch = MatchScratch::default();
+    exists_extension_scratch(atoms, var_count, instance, init, &mut scratch)
+}
+
+/// [`exists_extension`] with caller-owned scratch buffers.
+pub fn exists_extension_scratch(
+    atoms: &[Atom],
+    var_count: usize,
+    instance: &Instance,
+    init: &Substitution,
+    scratch: &mut MatchScratch,
+) -> bool {
+    !for_each_hom_scratch(
+        atoms,
+        var_count,
+        &InstanceView::full(instance),
+        Some(init),
+        None,
+        scratch,
+        &mut |_| ControlFlow::Break(()),
+    )
 }
 
 /// Whether there is a homomorphism from `src` to `dst`: a mapping of nulls

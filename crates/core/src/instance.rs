@@ -1,29 +1,143 @@
 //! Instances: indexed, deduplicated stores of ground atoms.
 //!
 //! The chase spends nearly all its time matching rule bodies against the
-//! instance, so the store maintains two access paths besides the arena:
+//! instance, so the layout is built for that loop:
 //!
+//! * atoms are interned into a shared term arena — an atom is a
+//!   `(PredId, args-range)` pair into one flat `Vec<Term>`, resolved to a
+//!   zero-copy [`AtomRef`] view, so inserting or reading an atom never
+//!   clones an argument vector;
+//! * deduplication goes through an open-addressed hash-of-slice table
+//!   ([`DedupTable`]) that compares candidate argument slices in place —
+//!   no owned `Atom` keys, no per-probe allocation;
 //! * `(predicate, position, term)` postings — the selective index the
-//!   homomorphism matcher uses for bound positions;
+//!   homomorphism matcher uses for bound positions — are columnar: a
+//!   `Vec<PredIndex>` indexed directly by `PredId`, with one
+//!   `FxHashMap<Term, Vec<AtomId>>` per argument position, so the hot
+//!   lookup is an array index plus a single one-word hash probe instead
+//!   of hashing a 3-tuple;
 //! * per-null postings — what the guarded termination procedure uses to
-//!   assemble "clouds" (all atoms over a given term set).
+//!   assemble "clouds" (all atoms over a given term set) — stay a map
+//!   because null ids are sparse relative to atoms.
 //!
 //! Atom ids are dense and monotone: `AtomId(i)` was inserted before
 //! `AtomId(j)` whenever `i < j`. The same holds for null ids. The
-//! termination procedures rely on both orders as birth timestamps.
+//! termination procedures rely on both orders as birth timestamps, and the
+//! deterministic parallel merge relies on every posting list being in
+//! insertion order.
 
-use crate::atom::Atom;
-use crate::fxhash::FxHashMap;
+use crate::atom::{Atom, AtomRef};
+use crate::fxhash::{FxHashMap, FxHasher};
 use crate::ids::{AtomId, NullId, PredId};
 use crate::term::Term;
+use std::hash::{Hash, Hasher};
+
+/// Columnar postings for a single predicate.
+#[derive(Debug, Default, Clone)]
+struct PredIndex {
+    /// Ids of atoms over this predicate, in insertion order.
+    ids: Vec<AtomId>,
+    /// Per-position postings: `by_pos[pos][term]` lists the ids of atoms
+    /// with `term` at argument position `pos`, in insertion order.
+    by_pos: Vec<FxHashMap<Term, Vec<AtomId>>>,
+}
+
+/// Open-addressed dedup index from `(pred, args)` to [`AtomId`].
+///
+/// Keys live in the owning instance's arena; the table stores only
+/// `(hash, id)` pairs and resolves collisions by comparing the candidate
+/// atom's argument slice in place, so lookups never materialise an owned
+/// `Atom`. Linear probing, power-of-two capacity, load factor ≤ 1/2.
+#[derive(Debug, Default, Clone)]
+struct DedupTable {
+    /// `(hash, id + 1)` per slot; an `id + 1` of 0 marks an empty slot.
+    slots: Vec<(u64, u32)>,
+    len: usize,
+}
+
+impl DedupTable {
+    /// Finds the id of an entry with this hash for which `eq` holds.
+    ///
+    /// `eq` receives a candidate atom index and must check full equality;
+    /// the table only pre-filters on the stored 64-bit hash.
+    #[inline]
+    fn lookup(&self, hash: u64, mut eq: impl FnMut(usize) -> bool) -> Option<usize> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = (hash as usize) & mask;
+        loop {
+            let (h, idp1) = self.slots[i];
+            if idp1 == 0 {
+                return None;
+            }
+            if h == hash {
+                let id = (idp1 - 1) as usize;
+                if eq(id) {
+                    return Some(id);
+                }
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Inserts a new entry; the caller must have checked it is absent.
+    fn insert(&mut self, hash: u64, id: u32) {
+        if (self.len + 1) * 2 > self.slots.len() {
+            self.grow();
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = (hash as usize) & mask;
+        while self.slots[i].1 != 0 {
+            i = (i + 1) & mask;
+        }
+        self.slots[i] = (hash, id + 1);
+        self.len += 1;
+    }
+
+    fn grow(&mut self) {
+        let cap = (self.slots.len() * 2).max(16);
+        let old = std::mem::replace(&mut self.slots, vec![(0, 0); cap]);
+        let mask = cap - 1;
+        for (h, idp1) in old {
+            if idp1 == 0 {
+                continue;
+            }
+            let mut i = (h as usize) & mask;
+            while self.slots[i].1 != 0 {
+                i = (i + 1) & mask;
+            }
+            self.slots[i] = (h, idp1);
+        }
+    }
+}
+
+/// Hashes an atom's identity — predicate plus argument slice.
+#[inline]
+fn hash_parts(pred: PredId, args: &[Term]) -> u64 {
+    let mut h = FxHasher::default();
+    h.write_u32(pred.0);
+    for t in args {
+        t.hash(&mut h);
+    }
+    h.write_usize(args.len());
+    h.finish()
+}
 
 /// An indexed, deduplicated set of ground atoms.
 #[derive(Debug, Default, Clone)]
 pub struct Instance {
-    atoms: Vec<Atom>,
-    index: FxHashMap<Atom, AtomId>,
-    by_pred: FxHashMap<PredId, Vec<AtomId>>,
-    by_pred_pos_term: FxHashMap<(PredId, u32, Term), Vec<AtomId>>,
+    /// Predicate of atom `i`.
+    preds: Vec<PredId>,
+    /// Exclusive end of atom `i`'s argument range in `terms`; atom `i`
+    /// spans `ends[i - 1]..ends[i]` (with an implicit 0 for `i == 0`).
+    ends: Vec<u32>,
+    /// The shared term arena all atoms' arguments live in.
+    terms: Vec<Term>,
+    dedup: DedupTable,
+    /// Columnar postings, indexed directly by `PredId`.
+    by_pred: Vec<PredIndex>,
     by_null: FxHashMap<NullId, Vec<AtomId>>,
     next_null: u32,
 }
@@ -53,18 +167,34 @@ impl Instance {
     /// # Panics
     ///
     /// Panics (in debug builds) if the atom is not ground.
+    #[inline]
     pub fn insert(&mut self, atom: Atom) -> (AtomId, bool) {
-        debug_assert!(atom.is_ground(), "instance atoms must be ground");
-        if let Some(&id) = self.index.get(&atom) {
-            return (id, false);
+        self.insert_terms(atom.pred, &atom.args)
+    }
+
+    /// Inserts an atom given as predicate + argument slice; returns its id
+    /// and whether it was new. The arguments are copied into the arena
+    /// only if the atom is new, so callers can reuse one scratch buffer
+    /// across insertions.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if any argument is not ground.
+    pub fn insert_terms(&mut self, pred: PredId, args: &[Term]) -> (AtomId, bool) {
+        debug_assert!(
+            args.iter().all(|t| t.is_ground()),
+            "instance atoms must be ground"
+        );
+        let hash = hash_parts(pred, args);
+        if let Some(i) = self.lookup(hash, pred, args) {
+            return (AtomId::from_index(i), false);
         }
-        let id = AtomId::from_index(self.atoms.len());
-        self.by_pred.entry(atom.pred).or_default().push(id);
-        for (pos, &t) in atom.args.iter().enumerate() {
-            self.by_pred_pos_term
-                .entry((atom.pred, pos as u32, t))
-                .or_default()
-                .push(id);
+        let id = AtomId::from_index(self.preds.len());
+        self.preds.push(pred);
+        self.terms.extend_from_slice(args);
+        self.ends.push(self.terms.len() as u32);
+        self.dedup.insert(hash, id.0);
+        for &t in args {
             if let Term::Null(n) = t {
                 // Track the null high-water mark so fresh nulls never collide
                 // with nulls imported via `from_atoms`.
@@ -77,9 +207,34 @@ impl Instance {
                 }
             }
         }
-        self.index.insert(atom.clone(), id);
-        self.atoms.push(atom);
+        let pi_idx = pred.index();
+        if self.by_pred.len() <= pi_idx {
+            self.by_pred.resize_with(pi_idx + 1, PredIndex::default);
+        }
+        let pi = &mut self.by_pred[pi_idx];
+        pi.ids.push(id);
+        if pi.by_pos.len() < args.len() {
+            pi.by_pos.resize_with(args.len(), FxHashMap::default);
+        }
+        for (pos, &t) in args.iter().enumerate() {
+            pi.by_pos[pos].entry(t).or_default().push(id);
+        }
         (id, true)
+    }
+
+    /// Dedup probe: finds an existing atom equal to `(pred, args)`.
+    #[inline]
+    fn lookup(&self, hash: u64, pred: PredId, args: &[Term]) -> Option<usize> {
+        let preds = &self.preds;
+        let ends = &self.ends;
+        let terms = &self.terms;
+        self.dedup.lookup(hash, |i| {
+            if preds[i] != pred {
+                return false;
+            }
+            let start = if i == 0 { 0 } else { ends[i - 1] as usize };
+            &terms[start..ends[i] as usize] == args
+        })
     }
 
     /// Mints a fresh null, distinct from every null seen so far.
@@ -96,49 +251,66 @@ impl Instance {
 
     /// Whether the instance contains the atom.
     pub fn contains(&self, atom: &Atom) -> bool {
-        self.index.contains_key(atom)
+        self.id_of(atom).is_some()
     }
 
     /// Looks up an atom's id.
     pub fn id_of(&self, atom: &Atom) -> Option<AtomId> {
-        self.index.get(atom).copied()
+        self.id_of_parts(atom.pred, &atom.args)
     }
 
-    /// Resolves an id to its atom.
+    /// Looks up the id of an atom given as predicate + argument slice.
+    pub fn id_of_parts(&self, pred: PredId, args: &[Term]) -> Option<AtomId> {
+        self.lookup(hash_parts(pred, args), pred, args)
+            .map(AtomId::from_index)
+    }
+
+    /// Resolves an id to a zero-copy view of its atom.
     #[inline]
-    pub fn atom(&self, id: AtomId) -> &Atom {
-        &self.atoms[id.index()]
+    pub fn atom(&self, id: AtomId) -> AtomRef<'_> {
+        let i = id.index();
+        let start = if i == 0 { 0 } else { self.ends[i - 1] as usize };
+        AtomRef {
+            pred: self.preds[i],
+            args: &self.terms[start..self.ends[i] as usize],
+        }
     }
 
     /// Number of atoms.
     #[inline]
     pub fn len(&self) -> usize {
-        self.atoms.len()
+        self.preds.len()
     }
 
     /// Whether the instance is empty.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.atoms.is_empty()
+        self.preds.is_empty()
     }
 
     /// Iterates over all atoms in insertion order.
-    pub fn iter(&self) -> impl Iterator<Item = (AtomId, &Atom)> {
-        self.atoms
-            .iter()
-            .enumerate()
-            .map(|(i, a)| (AtomId::from_index(i), a))
+    pub fn iter(&self) -> impl Iterator<Item = (AtomId, AtomRef<'_>)> {
+        (0..self.len()).map(|i| {
+            let id = AtomId::from_index(i);
+            (id, self.atom(id))
+        })
     }
 
     /// Ids of atoms with the given predicate, in insertion order.
     pub fn with_pred(&self, pred: PredId) -> &[AtomId] {
-        self.by_pred.get(&pred).map(Vec::as_slice).unwrap_or(&[])
+        self.by_pred
+            .get(pred.index())
+            .map(|p| p.ids.as_slice())
+            .unwrap_or(&[])
     }
 
     /// Ids of atoms with `term` at `pos` of `pred`, in insertion order.
+    #[inline]
     pub fn with_pred_pos_term(&self, pred: PredId, pos: usize, term: Term) -> &[AtomId] {
-        self.by_pred_pos_term
-            .get(&(pred, pos as u32, term))
+        self.by_pred
+            .get(pred.index())
+            .and_then(|p| p.by_pos.get(pos))
+            .and_then(|m| m.get(&term))
             .map(Vec::as_slice)
             .unwrap_or(&[])
     }
@@ -153,11 +325,9 @@ impl Instance {
     pub fn terms(&self) -> Vec<Term> {
         let mut seen = crate::fxhash::FxHashSet::default();
         let mut out = Vec::new();
-        for a in &self.atoms {
-            for &t in &a.args {
-                if seen.insert(t) {
-                    out.push(t);
-                }
+        for &t in &self.terms {
+            if seen.insert(t) {
+                out.push(t);
             }
         }
         out
@@ -263,5 +433,53 @@ mod tests {
     fn from_iterator_collects() {
         let inst: Instance = vec![atom(0, vec![c(0)]), atom(0, vec![c(1)])].into_iter().collect();
         assert_eq!(inst.len(), 2);
+    }
+
+    #[test]
+    fn atom_resolves_to_interned_view() {
+        let mut inst = Instance::new();
+        let a = atom(3, vec![c(0), n(1), c(2)]);
+        let (id, _) = inst.insert(a.clone());
+        let view = inst.atom(id);
+        assert_eq!(view, a);
+        assert_eq!(view.to_atom(), a);
+        assert_eq!(view.arity(), 3);
+    }
+
+    #[test]
+    fn insert_terms_matches_insert() {
+        let mut inst = Instance::new();
+        let (id1, new1) = inst.insert_terms(PredId(0), &[c(0), c(1)]);
+        let (id2, new2) = inst.insert(atom(0, vec![c(0), c(1)]));
+        assert_eq!(id1, id2);
+        assert!(new1 && !new2);
+        assert_eq!(inst.id_of_parts(PredId(0), &[c(0), c(1)]), Some(id1));
+        assert_eq!(inst.id_of_parts(PredId(0), &[c(1), c(0)]), None);
+    }
+
+    #[test]
+    fn mixed_arity_same_pred_is_distinguished() {
+        // The store doesn't enforce a schema: a predicate may appear at
+        // several arities (datagen never does this, but dedup must not
+        // conflate a tuple with its zero-extended sibling).
+        let mut inst = Instance::new();
+        let (a, _) = inst.insert(atom(0, vec![c(0)]));
+        let (b, _) = inst.insert(atom(0, vec![c(0), c(0)]));
+        assert_ne!(a, b);
+        assert_eq!(inst.with_pred(PredId(0)).len(), 2);
+    }
+
+    #[test]
+    fn dedup_survives_growth() {
+        let mut inst = Instance::new();
+        for i in 0..1000 {
+            let (_, fresh) = inst.insert(atom(i % 7, vec![c(i), c(i / 3)]));
+            assert!(fresh);
+        }
+        for i in 0..1000 {
+            let (_, fresh) = inst.insert(atom(i % 7, vec![c(i), c(i / 3)]));
+            assert!(!fresh, "atom {i} should already be present");
+        }
+        assert_eq!(inst.len(), 1000);
     }
 }

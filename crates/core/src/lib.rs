@@ -40,13 +40,14 @@ pub mod rule;
 pub mod term;
 pub mod vocab;
 
-pub use atom::Atom;
+pub use atom::{Atom, AtomRef};
 pub use critical::CriticalInstance;
 pub use error::{CoreError, ParseError};
 pub use fxhash::{FxHashMap, FxHashSet};
 pub use homomorphism::{
-    exists_extension, find_all_homs, for_each_hom, for_each_hom_view, hom_equivalent,
-    instance_hom_exists, InstanceView, Substitution,
+    exists_extension, exists_extension_scratch, find_all_homs, for_each_hom, for_each_hom_scratch,
+    for_each_hom_view, hom_equivalent, instance_hom_exists, InstanceView, MatchScratch,
+    Substitution,
 };
 pub use ids::{AtomId, ConstId, NullId, PredId, Symbol, VarId};
 pub use instance::Instance;

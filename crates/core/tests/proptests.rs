@@ -149,4 +149,115 @@ proptest! {
         slow_sorted.sort();
         prop_assert_eq!(fast_sorted, slow_sorted);
     }
+
+    /// The oracle comparison on the interned arena store with *mixed
+    /// arities*: predicate k has arity k+1, so atoms of different widths
+    /// interleave in the shared term arena and the dedup table must
+    /// distinguish them by slice content, not just predicate.
+    #[test]
+    fn matcher_matches_oracle_on_mixed_arity_interned_store(
+        facts in proptest::collection::vec((0u32..3, 0u32..3, 0u32..3, 0u32..3), 1..10),
+        pattern_spec in proptest::collection::vec((0u32..3, 0u32..2, 0u32..2, 0u32..2), 1..3),
+    ) {
+        let instance = Instance::from_atoms(facts.iter().map(|&(p, a, b, c)| {
+            let args: Vec<Term> = [a, b, c][..(p as usize + 1)]
+                .iter()
+                .map(|&x| Term::Const(ConstId(x)))
+                .collect();
+            Atom::new(PredId(p), args)
+        }));
+        let patterns: Vec<Atom> = pattern_spec
+            .iter()
+            .map(|&(p, v1, v2, v3)| {
+                let args: Vec<Term> = [v1, v2, v3][..(p as usize + 1)]
+                    .iter()
+                    .map(|&v| Term::Var(VarId(v)))
+                    .collect();
+                Atom::new(PredId(p), args)
+            })
+            .collect();
+        let uses_both = patterns.iter().any(|a| a.mentions(Term::Var(VarId(0))))
+            && patterns.iter().any(|a| a.mentions(Term::Var(VarId(1))));
+        prop_assume!(uses_both);
+
+        let fast: Vec<Vec<Option<Term>>> = find_all_homs(&patterns, 2, &instance, None)
+            .iter()
+            .map(|s: &Substitution| vec![s.get(VarId(0)), s.get(VarId(1))])
+            .collect();
+        let slow = oracle_homs(&patterns, 2, &instance);
+
+        let mut fast_sorted = fast;
+        fast_sorted.sort();
+        let mut slow_sorted = slow;
+        slow_sorted.sort();
+        prop_assert_eq!(fast_sorted, slow_sorted);
+    }
+
+    /// Postings consistency on the columnar indexes: every atom is
+    /// reachable through every `(pred, pos, term)` posting it participates
+    /// in, every posting entry resolves back to an atom that matches its
+    /// key, postings stay in insertion (ascending-id) order — the
+    /// enumeration-order invariant the deterministic merge relies on —
+    /// and re-inserting every fact is a dedup no-op.
+    #[test]
+    fn postings_and_atoms_are_bidirectionally_consistent(
+        facts in proptest::collection::vec((0u32..3, 0u32..4, 0u32..4, 0u32..4), 1..20),
+    ) {
+        let atoms: Vec<Atom> = facts
+            .iter()
+            .map(|&(p, a, b, c)| {
+                let args: Vec<Term> = [a, b, c][..(p as usize + 1)]
+                    .iter()
+                    .map(|&x| Term::Const(ConstId(x)))
+                    .collect();
+                Atom::new(PredId(p), args)
+            })
+            .collect();
+        let mut instance = Instance::from_atoms(atoms.iter().cloned());
+
+        // Forward: every atom appears in its predicate extension and in
+        // the posting for each of its (position, term) pairs.
+        for (id, atom) in instance.iter() {
+            prop_assert!(instance.with_pred(atom.pred).contains(&id));
+            for (pos, &term) in atom.args.iter().enumerate() {
+                let posting = instance.with_pred_pos_term(atom.pred, pos, term);
+                prop_assert!(
+                    posting.contains(&id),
+                    "atom {:?} missing from posting ({:?}, {pos}, {:?})", id, atom.pred, term
+                );
+            }
+        }
+
+        // Backward: every posting entry resolves to an atom matching the
+        // posting key, and postings are strictly ascending (insertion
+        // order over dense ids).
+        for p in 0u32..3 {
+            let pred = PredId(p);
+            let ext = instance.with_pred(pred);
+            prop_assert!(ext.windows(2).all(|w| w[0] < w[1]));
+            for &id in ext {
+                prop_assert_eq!(instance.atom(id).pred, pred);
+            }
+            for pos in 0..(p as usize + 1) {
+                for t in 0u32..4 {
+                    let term = Term::Const(ConstId(t));
+                    let posting = instance.with_pred_pos_term(pred, pos, term);
+                    prop_assert!(posting.windows(2).all(|w| w[0] < w[1]));
+                    for &id in posting {
+                        let atom = instance.atom(id);
+                        prop_assert_eq!(atom.pred, pred);
+                        prop_assert_eq!(atom.args[pos], term);
+                    }
+                }
+            }
+        }
+
+        // Dedup: re-inserting the same facts changes nothing.
+        let before = instance.len();
+        for atom in &atoms {
+            let (_, fresh) = instance.insert(atom.clone());
+            prop_assert!(!fresh);
+        }
+        prop_assert_eq!(instance.len(), before);
+    }
 }

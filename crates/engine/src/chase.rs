@@ -18,8 +18,9 @@ use std::ops::ControlFlow;
 use std::time::Instant;
 
 use chasekit_core::{
-    exists_extension, for_each_hom, for_each_hom_view, AtomId, FxHashMap, FxHashSet, Instance,
-    InstanceView, NullId, Program, Substitution, Term,
+    exists_extension, exists_extension_scratch, for_each_hom, for_each_hom_scratch, AtomId,
+    FxHashMap, FxHashSet, Instance, InstanceView, MatchScratch, NullId, Program, Substitution,
+    Term,
 };
 
 use crate::derivation::{Application, DerivationDag};
@@ -177,6 +178,15 @@ pub struct ChaseMachine<'p> {
     /// latches a sticky error and the run loops stop with
     /// [`StopReason::Io`] at the next step boundary.
     pub(crate) journal: Option<crate::journal::JournalWriter>,
+    /// Reusable matcher buffers for the sequential discovery and
+    /// satisfaction-check paths; parallel-round workers own their own.
+    pub(crate) scratch: MatchScratch,
+    /// Reusable head-image argument buffer for [`apply_core`](Self::apply_core).
+    pub(crate) args_buf: Vec<Term>,
+    /// Persistent discovery worker pool, created lazily by the
+    /// parallel-round driver on the first fanned-out round and kept across
+    /// rounds (see [`crate::pool`]). Joined on drop.
+    pub(crate) pool: Option<crate::pool::DiscoveryPool>,
 }
 
 impl<'p> ChaseMachine<'p> {
@@ -228,6 +238,9 @@ impl<'p> ChaseMachine<'p> {
             trace,
             progress: None,
             journal: None,
+            scratch: MatchScratch::default(),
+            args_buf: Vec::new(),
+            pool: None,
         };
         for rule_idx in 0..program.rules().len() {
             machine.enqueue_matches(rule_idx, None);
@@ -358,12 +371,13 @@ impl<'p> ChaseMachine<'p> {
         let found: Vec<Substitution> = match pinned {
             None => {
                 let mut found = Vec::new();
-                for_each_hom(
+                for_each_hom_scratch(
                     rule.body(),
                     rule.var_count(),
-                    &self.instance,
+                    &InstanceView::full(&self.instance),
                     None,
                     None,
+                    &mut self.scratch,
                     &mut |s| {
                         found.push(s.clone());
                         ControlFlow::Continue(())
@@ -376,6 +390,7 @@ impl<'p> ChaseMachine<'p> {
                 &InstanceView::full(&self.instance),
                 rule_idx,
                 atom_id,
+                &mut self.scratch,
             ),
         };
 
@@ -453,7 +468,13 @@ impl<'p> ChaseMachine<'p> {
     pub(crate) fn skip_if_satisfied(&mut self, trigger: &Trigger) -> bool {
         let rule = &self.program.rules()[trigger.rule];
         if self.config.variant.checks_satisfaction()
-            && exists_extension(rule.head(), rule.var_count(), &self.instance, &trigger.subst)
+            && exists_extension_scratch(
+                rule.head(),
+                rule.var_count(),
+                &self.instance,
+                &trigger.subst,
+                &mut self.scratch,
+            )
         {
             self.stats.satisfied_skips += 1;
             if let Some(t) = &mut self.trace {
@@ -466,8 +487,10 @@ impl<'p> ChaseMachine<'p> {
     }
 
     /// Applies one trigger unconditionally and discovers the triggers its
-    /// new atoms enable (the sequential path).
-    fn apply(&mut self, trigger: Trigger) -> StepEvent {
+    /// new atoms enable (the sequential path; also the parallel driver's
+    /// narrow-round path, where a frontier too small to fan out is cheaper
+    /// to chase inline than to batch through the two-phase split).
+    pub(crate) fn apply(&mut self, trigger: Trigger) -> StepEvent {
         let event = self.apply_core(trigger);
 
         // Discover triggers enabled by the new atoms.
@@ -557,10 +580,14 @@ impl<'p> ChaseMachine<'p> {
         let mut new_atoms = Vec::new();
         let mut duplicates = 0usize;
         for head_atom in rule.head() {
-            let image = subst.apply_atom(head_atom);
-            debug_assert!(image.is_ground());
-            let arity = image.arity();
-            let (id, is_new) = self.instance.insert(image);
+            // Build the head image in the reusable buffer; `insert_terms`
+            // copies it into the arena only when the atom is new.
+            let mut args_buf = std::mem::take(&mut self.args_buf);
+            args_buf.clear();
+            args_buf.extend(head_atom.args.iter().map(|&t| subst.apply(t)));
+            let arity = args_buf.len();
+            let (id, is_new) = self.instance.insert_terms(head_atom.pred, &args_buf);
+            self.args_buf = args_buf;
             if is_new {
                 self.stats.atoms_added += 1;
                 self.approx_bytes += approx_atom_bytes(arity);
@@ -718,6 +745,7 @@ pub(crate) fn matches_pinned(
     view: &InstanceView<'_>,
     rule_idx: usize,
     atom_id: AtomId,
+    scratch: &mut MatchScratch,
 ) -> Vec<Substitution> {
     let rule = &program.rules()[rule_idx];
     let pred = view.atom(atom_id).pred;
@@ -726,12 +754,13 @@ pub(crate) fn matches_pinned(
         if body_atom.pred != pred {
             continue;
         }
-        for_each_hom_view(
+        for_each_hom_scratch(
             rule.body(),
             rule.var_count(),
             view,
             None,
             Some((body_idx, atom_id)),
+            scratch,
             &mut |s| {
                 found.push(s.clone());
                 ControlFlow::Continue(())
@@ -799,7 +828,7 @@ pub fn is_model(program: &Program, instance: &Instance) -> bool {
 /// Checks that `instance` contains every atom of `base` (the chase never
 /// deletes).
 pub fn contains_instance(instance: &Instance, base: &Instance) -> bool {
-    base.iter().all(|(_, a)| instance.contains(a))
+    base.iter().all(|(_, a)| instance.id_of_parts(a.pred, a.args).is_some())
 }
 
 #[allow(unused_imports)]
@@ -1094,7 +1123,7 @@ mod scheduling_tests {
             let inst = m.into_instance();
             assert_eq!(inst.len(), fifo.len(), "seed {seed}");
             for (_, atom) in fifo.iter() {
-                assert!(inst.contains(atom), "seed {seed}");
+                assert!(inst.id_of_parts(atom.pred, atom.args).is_some(), "seed {seed}");
             }
         }
     }

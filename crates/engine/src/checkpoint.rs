@@ -117,7 +117,7 @@ impl<'p> ChaseMachine<'p> {
         Checkpoint {
             config: self.config,
             program_fingerprint: program_fingerprint(self.program),
-            atoms: self.instance.iter().map(|(_, a)| a.clone()).collect(),
+            atoms: self.instance.iter().map(|(_, a)| a.to_atom()).collect(),
             next_null: self.instance.null_count() as u32,
             queue: self
                 .queue
@@ -237,6 +237,9 @@ impl Checkpoint {
             trace: None,
             progress: None,
             journal: None,
+            scratch: chasekit_core::MatchScratch::default(),
+            args_buf: Vec::new(),
+            pool: None,
         })
     }
 
@@ -700,7 +703,7 @@ mod tests {
         assert_eq!(resumed.stats(), straight.stats());
         assert_eq!(resumed.instance().len(), straight.instance().len());
         for (_, atom) in straight.instance().iter() {
-            assert!(resumed.instance().contains(atom));
+            assert!(resumed.instance().id_of_parts(atom.pred, atom.args).is_some());
         }
     }
 

@@ -10,7 +10,7 @@
 
 use std::fmt::Write as _;
 
-use chasekit_core::display::atom_to_string;
+use chasekit_core::display::atom_ref_to_string;
 use chasekit_core::{Instance, Vocabulary};
 
 use crate::derivation::DerivationDag;
@@ -27,7 +27,7 @@ pub fn derivation_to_dot(
     let _ = writeln!(out, "  node [fontname=\"monospace\", fontsize=10];");
 
     for (id, atom) in instance.iter() {
-        let label = atom_to_string(atom, vocab, None).replace('"', "\\\"");
+        let label = atom_ref_to_string(atom, vocab, None).replace('"', "\\\"");
         let style = match derivation.creator_of(id) {
             None => "shape=box, style=filled, fillcolor=\"#e8e8e8\"",
             Some(_) => "shape=ellipse",

@@ -32,6 +32,7 @@ pub mod failpoint;
 pub mod guard;
 pub mod journal;
 pub mod metrics;
+pub(crate) mod pool;
 pub mod query;
 pub mod round;
 pub mod serve;

@@ -12,16 +12,26 @@
 //!    recording. After each application the instance length is recorded as
 //!    that application's *horizon*.
 //! 2. **Discover** (parallel, hot): the atoms born this round are turned
-//!    into `(atom, rule)` work items, partitioned over scoped worker
-//!    threads (the pool pattern of the experiment runner: an atomic claim
-//!    counter plus a result channel, no shared mutable state). Each worker
-//!    matches rule bodies pinned to its atom against a **read-only prefix
-//!    view** of the instance clipped to the producing application's
+//!    into `(atom, rule)` work items and fed to the machine's **persistent
+//!    worker pool** ([`crate::pool::DiscoveryPool`] — spawned once on the
+//!    first fanned-out round, parked between rounds, joined on drop), which
+//!    distributes them in chunks through an atomic claim cursor. Each
+//!    worker matches rule bodies pinned to its atom against a **read-only
+//!    prefix view** of the instance clipped to the producing application's
 //!    horizon ([`chasekit_core::InstanceView`]), so it reproduces exactly
 //!    the matches the sequential machine found at that moment. Results are
 //!    merged on the driver thread in deterministic (application, atom,
 //!    rule) order — the order the sequential machine enqueues — through
 //!    the same dedup-and-admit path.
+//!
+//! **Narrow rounds** skip the split entirely: a frontier too small to
+//! amortise the pool handshake (fewer than `threads * 4` triggers) is
+//! chased through the sequential per-application path under round
+//! accounting, which is what keeps `--threads N` near sequential speed on
+//! narrow-frontier workloads (and on low-core hosts). The choice is
+//! invisible to the result: the two-phase merge replays the sequential
+//! order by construction, so running the sequential code *is* the
+//! reference behaviour.
 //!
 //! **Determinism.** Because (a) the apply phase performs the same
 //! applications in the same order as the sequential FIFO machine, (b) the
@@ -41,7 +51,7 @@
 //! and cancellation are checked between applications exactly like the
 //! sequential hot loop, so budget stops land on the same step boundary
 //! with the same [`StopReason`]. Workers additionally poll the deadline
-//! and the [`CancelToken`] between work items; a trip observed during
+//! and the [`crate::guard::CancelToken`] between work chunks; a trip observed during
 //! discovery stops the run at the end of the current round (discovery for
 //! already-applied triggers always completes first — that is what keeps
 //! the stopped machine checkpoint-consistent and resumable by either
@@ -49,14 +59,15 @@
 //!
 //! [`ChaseStats`]: crate::ChaseStats
 
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::mpsc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
-use chasekit_core::{AtomId, Instance, InstanceView, Program, Substitution};
+use chasekit_core::{AtomId, InstanceView, Substitution};
 
 use crate::chase::{matches_pinned, ChaseMachine, Scheduling};
-use crate::guard::{Budget, CancelToken, StopReason};
+use crate::guard::{Budget, StopReason};
+use crate::pool::DiscoveryPool;
 use crate::trace::TraceEvent;
 
 /// Counters describing the round structure of a parallel run.
@@ -83,10 +94,10 @@ pub struct RoundStats {
 /// One unit of discovery work: match `rule`'s body pinned to `atom`
 /// against the instance prefix of length `horizon`.
 #[derive(Debug, Clone, Copy)]
-struct WorkItem {
-    atom: AtomId,
-    horizon: usize,
-    rule: usize,
+pub(crate) struct WorkItem {
+    pub(crate) atom: AtomId,
+    pub(crate) horizon: usize,
+    pub(crate) rule: usize,
 }
 
 /// Per-slot record of one phase-1 dequeue, kept only when a trace sink is
@@ -98,74 +109,6 @@ struct WorkItem {
 enum SlotTrace {
     Skipped { rule: usize },
     Applied { app: u64, rule: usize, new_atoms: Vec<AtomId>, duplicates: u64 },
-}
-
-/// Deadline/cancellation probe shared with the discovery workers.
-struct AbortProbe<'a> {
-    cancel: Option<&'a CancelToken>,
-    deadline: Option<Instant>,
-}
-
-impl AbortProbe<'_> {
-    fn tripped(&self) -> bool {
-        self.cancel.is_some_and(|t| t.is_cancelled())
-            || self.deadline.is_some_and(|d| Instant::now() >= d)
-    }
-}
-
-/// Runs every work item, fanned out over `threads` scoped workers against
-/// the shared read-only instance, and returns the per-item matches in item
-/// order. Workers claim items through an atomic counter and report through
-/// a channel, so there is no shared mutable state to contend on; they poll
-/// `probe` between items and record a trip in `observed` (work still runs
-/// to completion — consistency of the already-applied round requires its
-/// discovery to finish).
-fn discover_parallel(
-    program: &Program,
-    instance: &Instance,
-    items: &[WorkItem],
-    threads: usize,
-    probe: &AbortProbe<'_>,
-    observed: &AtomicBool,
-) -> Vec<Vec<Substitution>> {
-    let next = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<(usize, Vec<Substitution>)>();
-
-    std::thread::scope(|scope| {
-        for _ in 0..threads.min(items.len()) {
-            let tx = tx.clone();
-            let next = &next;
-            scope.spawn(move || loop {
-                if probe.tripped() {
-                    observed.store(true, Ordering::Relaxed);
-                }
-                let idx = next.fetch_add(1, Ordering::Relaxed);
-                if idx >= items.len() {
-                    break;
-                }
-                // Failpoint: the crash-recovery suite injects worker
-                // panics here to prove a dead round leaves nothing behind.
-                crate::failpoint::trip(crate::failpoint::points::ROUND_WORKER);
-                let item = items[idx];
-                let view = InstanceView::prefix(instance, item.horizon);
-                let homs = matches_pinned(program, &view, item.rule, item.atom);
-                if tx.send((idx, homs)).is_err() {
-                    break;
-                }
-            });
-        }
-    });
-    drop(tx);
-
-    let mut slots: Vec<Option<Vec<Substitution>>> = (0..items.len()).map(|_| None).collect();
-    for (idx, homs) in rx {
-        slots[idx] = Some(homs);
-    }
-    slots
-        .into_iter()
-        .enumerate()
-        .map(|(idx, slot)| slot.unwrap_or_else(|| panic!("work item {idx} was never processed")))
-        .collect()
 }
 
 impl ChaseMachine<'_> {
@@ -211,6 +154,33 @@ impl ChaseMachine<'_> {
             self.round_stats.max_frontier = self.round_stats.max_frontier.max(frontier);
             if let Some(t) = &mut self.trace {
                 t.note(TraceEvent::RoundOpen { round: self.round_stats.rounds, frontier });
+            }
+            // Narrow rounds: a frontier too small to amortise the fan-out
+            // handshake runs the plain sequential path (apply + immediate
+            // discovery) under round accounting. The two-phase split would
+            // overlap nothing here, and its batching, slot log, and merge
+            // cost about as much as the matching they stage — this branch
+            // is what keeps `--threads 2` near sequential speed on
+            // narrow-frontier workloads. Bit-identity is free: the
+            // two-phase merge replays the sequential order by
+            // construction, so running the sequential code *is* the
+            // reference behaviour.
+            if frontier < threads * 4 {
+                if let Some(stop) = self.narrow_round(budget, frontier, start) {
+                    return self.boundary(stop);
+                }
+                let cancelled = self.cancel.as_ref().is_some_and(|t| t.is_cancelled());
+                if cancelled || deadline.is_some_and(|d| Instant::now() >= d) {
+                    let reason =
+                        if cancelled { StopReason::Cancelled } else { StopReason::WallClock };
+                    return self.boundary(reason);
+                }
+                if let Some(ceiling) = budget.max_memory {
+                    if self.approx_bytes >= ceiling {
+                        return self.boundary(StopReason::Memory);
+                    }
+                }
+                continue;
             }
             // Suppress core-event emission during the apply phase: the
             // sequential stream interleaves each application's events with
@@ -316,26 +286,75 @@ impl ChaseMachine<'_> {
             }
             self.round_stats.work_items += items.len() as u64;
 
-            let observed = AtomicBool::new(false);
+            let observed = Arc::new(AtomicBool::new(false));
             let cancel = self.cancel.clone();
-            let probe = AbortProbe { cancel: cancel.as_ref(), deadline };
-            // Fan out only when every worker gets at least two items:
-            // spawning scoped threads over a near-empty frontier costs more
-            // than the matching it would hide. Inline discovery runs the
-            // same code in the same item order, so the choice is invisible
-            // to the result.
-            let fan = threads.min(items.len() / 2);
-            let mut results: Vec<Vec<Substitution>> = if fan < 2 {
-                items
+            // Fan out only when the frontier is wide enough to amortise
+            // the pool handshake: each fanned round wakes every worker
+            // and drains a `Done` barrier, which costs a few context
+            // switches — more than the matching a narrow round would
+            // hide (most rounds in chase workloads carry a handful of
+            // items). Requiring ~four items per lane keeps tiny rounds
+            // on the driver; inline discovery runs the same code in the
+            // same item order, so the choice is invisible to the result
+            // (`RoundClose.workers` is an execution-class trace event,
+            // excluded from core traces).
+            let fan =
+                if items.len() < threads * 4 { 1 } else { threads.min(items.len() / 2) };
+            let (items, mut results): (Vec<WorkItem>, Vec<Vec<Substitution>>) = if fan < 2 {
+                let results = items
                     .iter()
                     .map(|item| {
+                        // Failpoint: same per-item site as the pool's
+                        // `run_job`, so `round.worker` plans land even
+                        // on rounds below the fan-out cutoff.
+                        crate::failpoint::trip(crate::failpoint::points::ROUND_WORKER);
                         let view = InstanceView::prefix(&self.instance, item.horizon);
-                        matches_pinned(self.program, &view, item.rule, item.atom)
+                        matches_pinned(
+                            self.program,
+                            &view,
+                            item.rule,
+                            item.atom,
+                            &mut self.scratch,
+                        )
                     })
-                    .collect()
+                    .collect();
+                (items, results)
             } else {
                 self.round_stats.parallel_rounds += 1;
-                discover_parallel(self.program, &self.instance, &items, fan, &probe, &observed)
+                // Lazily spawn the persistent pool (or replace it if this
+                // machine is re-run at a different thread count).
+                if self.pool.as_ref().is_none_or(|p| p.threads() != threads) {
+                    self.pool = Some(DiscoveryPool::new(self.program, threads));
+                }
+                let pool = self.pool.as_ref().expect("pool was just ensured");
+                // Move the instance (and items) behind Arcs for the
+                // discovery barrier; both come back via try_unwrap — see
+                // the pool docs for why the barrier makes this sound.
+                let shared = Arc::new(std::mem::take(&mut self.instance));
+                let items = Arc::new(items);
+                let outcome = pool.discover(
+                    Arc::clone(&shared),
+                    Arc::clone(&items),
+                    cancel.clone(),
+                    deadline,
+                    Arc::clone(&observed),
+                    &mut self.scratch,
+                );
+                let Ok(reclaimed) = Arc::try_unwrap(shared) else {
+                    unreachable!("every worker dropped its instance handle at the barrier")
+                };
+                self.instance = reclaimed;
+                let Ok(items) = Arc::try_unwrap(items) else {
+                    unreachable!("every worker dropped its item handle at the barrier")
+                };
+                match outcome {
+                    Ok(results) => (items, results),
+                    // A worker panicked (injected failpoint): re-raise on
+                    // the driver thread, exactly like the scoped spawn did.
+                    // The instance was restored above, so the machine the
+                    // unwind abandons is structurally sound.
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
             };
             self.trace = trace;
             if self.trace.is_some() {
@@ -404,7 +423,9 @@ impl ChaseMachine<'_> {
             // A trip observed during discovery (by a worker or just now)
             // ends the run at this round boundary instead of paying for
             // another round of applications.
-            if observed.load(Ordering::Relaxed) || probe.tripped() {
+            let tripped_now = cancel.as_ref().is_some_and(|t| t.is_cancelled())
+                || deadline.is_some_and(|d| Instant::now() >= d);
+            if observed.load(Ordering::Relaxed) || tripped_now {
                 let reason = if self.cancel.as_ref().is_some_and(|t| t.is_cancelled()) {
                     StopReason::Cancelled
                 } else {
@@ -424,6 +445,97 @@ impl ChaseMachine<'_> {
                 }
             }
         }
+    }
+
+    /// One narrow round: chases exactly `frontier` queue entries through
+    /// the sequential per-application path (apply + immediate discovery),
+    /// with the same per-attempt guard checks as the two-phase apply loop.
+    /// Core trace events are emitted directly in sequential order — no
+    /// suppress-and-replay needed. Emits the round's `RoundClose` and
+    /// returns the pending stop reason, if any guard tripped.
+    fn narrow_round(
+        &mut self,
+        budget: &Budget,
+        frontier: usize,
+        start: Instant,
+    ) -> Option<StopReason> {
+        const PERIOD: u64 = 32;
+        let mut pending_stop: Option<StopReason> = None;
+        let mut work_items = 0usize;
+        let mut remaining = frontier;
+        'applications: while remaining > 0 {
+            if self.stats.applications >= budget.max_applications {
+                pending_stop = Some(StopReason::Applications);
+                break;
+            }
+            if self.instance.len() >= budget.max_atoms {
+                pending_stop = Some(StopReason::Atoms);
+                break;
+            }
+            if let Some(token) = &self.cancel {
+                if token.is_cancelled() {
+                    pending_stop = Some(StopReason::Cancelled);
+                    break;
+                }
+            }
+            if self.journal_failed().is_some() {
+                pending_stop = Some(StopReason::Io);
+                break;
+            }
+            if self.stats.applications.is_multiple_of(PERIOD) {
+                if let Some(limit) = budget.max_wall {
+                    if start.elapsed() >= limit {
+                        pending_stop = Some(StopReason::WallClock);
+                        break;
+                    }
+                }
+                if let Some(ceiling) = budget.max_memory {
+                    if self.approx_bytes >= ceiling {
+                        pending_stop = Some(StopReason::Memory);
+                        break;
+                    }
+                }
+                self.poll_progress();
+            }
+            loop {
+                if remaining == 0 {
+                    break 'applications;
+                }
+                remaining -= 1;
+                let trigger = self.next_trigger().expect("frontier is non-empty");
+                if self.skip_if_satisfied(&trigger) {
+                    continue;
+                }
+                // Failpoint: same logical site as the pool's per-item
+                // trip, so `round.worker` plans land on rounds below the
+                // fan-out cutoff too (firing before the application keeps
+                // the crash scene at a clean step boundary).
+                crate::failpoint::trip(crate::failpoint::points::ROUND_WORKER);
+                let event = self.apply(trigger);
+                // Same work-item accounting as the two-phase item
+                // builder: one item per (new atom, rule mentioning its
+                // predicate) pair.
+                for &id in &event.new_atoms {
+                    let pred = self.instance.atom(id).pred;
+                    work_items += self
+                        .program
+                        .rules()
+                        .iter()
+                        .filter(|r| r.body().iter().any(|a| a.pred == pred))
+                        .count();
+                }
+                break;
+            }
+        }
+        self.round_stats.work_items += work_items as u64;
+        if let Some(t) = &mut self.trace {
+            t.note(TraceEvent::RoundClose {
+                round: self.round_stats.rounds,
+                work_items,
+                workers: 1,
+            });
+        }
+        pending_stop
     }
 }
 

@@ -55,7 +55,8 @@
 //! wrong answer; the experiments (E4) cross-validate against ground truth.
 
 use chasekit_core::{
-    Atom, AtomId, CriticalInstance, FxHashMap, FxHashSet, NullId, Program, RuleClass, Term,
+    Atom, AtomId, AtomRef, CriticalInstance, FxHashMap, FxHashSet, NullId, Program, RuleClass,
+    Term,
 };
 use chasekit_engine::{ChaseConfig, ChaseMachine, ChaseStats, ChaseVariant};
 
@@ -219,7 +220,7 @@ pub fn pumping_decide(program: &Program, config: GuardedConfig) -> Result<Guarde
         for &new_atom in &event.new_atoms {
             // Re-check pairs that were waiting for exactly this atom.
             let waiting = if config.defer_rechecks {
-                pending.remove(machine.instance().atom(new_atom))
+                pending.remove(&machine.instance().atom(new_atom).to_atom())
             } else {
                 None
             };
@@ -258,8 +259,8 @@ fn make_certificate(
     dist: usize,
 ) -> PumpingCertificate {
     PumpingCertificate {
-        ancestor: machine.instance().atom(a_id).clone(),
-        descendant: machine.instance().atom(b_id).clone(),
+        ancestor: machine.instance().atom(a_id).to_atom(),
+        descendant: machine.instance().atom(b_id).to_atom(),
         chain_length: dist,
     }
 }
@@ -330,11 +331,11 @@ fn certify_pair(
 /// Builds the positional map φ: terms(a) → terms(b), requiring constants to
 /// be fixed, nulls to map to nulls injectively, and — condition (F) — moved
 /// nulls to map to strictly younger nulls.
-fn build_phi(a: &Atom, b: &Atom) -> Option<FxHashMap<NullId, NullId>> {
+fn build_phi(a: AtomRef<'_>, b: AtomRef<'_>) -> Option<FxHashMap<NullId, NullId>> {
     debug_assert_eq!(a.pred, b.pred);
     let mut phi: FxHashMap<NullId, NullId> = FxHashMap::default();
     let mut image: FxHashSet<NullId> = FxHashSet::default();
-    for (&ta, &tb) in a.args.iter().zip(&b.args) {
+    for (&ta, &tb) in a.args.iter().zip(b.args) {
         match (ta, tb) {
             (Term::Const(x), Term::Const(y)) => {
                 if x != y {
@@ -371,7 +372,7 @@ fn build_phi(a: &Atom, b: &Atom) -> Option<FxHashMap<NullId, NullId>> {
 }
 
 /// Applies φ (identity on constants and unmapped nulls) to an atom.
-fn apply_phi(atom: &Atom, phi: &FxHashMap<NullId, NullId>) -> Atom {
+fn apply_phi(atom: AtomRef<'_>, phi: &FxHashMap<NullId, NullId>) -> Atom {
     atom.map_args(|t| match t {
         Term::Null(n) => Term::Null(phi.get(&n).copied().unwrap_or(n)),
         other => other,
@@ -398,7 +399,7 @@ fn check_certificate(
     }
 
     // Is every term of `atom` within terms(a) ∪ constants?
-    let is_old = |atom: &Atom| {
+    let is_old = |atom: AtomRef<'_>| {
         atom.args.iter().all(|t| match *t {
             Term::Const(_) => true,
             Term::Null(n) => a_nulls.contains(&n),

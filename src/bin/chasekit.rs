@@ -68,8 +68,9 @@ options:
                               the journal, rewrite a clean snapshot, print a
                               recovery report, and exit 3 (without chasing)
   --threads N                 (chase) worker threads for parallel-round
-                              execution (default: 1 = sequential); results
-                              are bit-identical at every thread count
+                              execution (default: 1 = sequential; 0 = one
+                              per available core); results are bit-identical
+                              at every thread count
   --trace FILE                (chase) write a JSONL event trace; composes
                               with --checkpoint (sequence numbers continue
                               across resume) and every --threads count
@@ -84,7 +85,8 @@ options:
                               there at startup are recovered and completed
   --addr HOST:PORT            (serve) bind address (default 127.0.0.1:0,
                               an ephemeral port, printed at startup)
-  --workers N                 (serve) worker threads running jobs (default 2)
+  --workers N                 (serve) worker threads running jobs
+                              (default 2; 0 = one per available core)
   --queue N                   (serve) admission cap: queued+running jobs
                               beyond it are rejected as overloaded (default 16)
 exit codes (chase): 0 saturated, 10 applications, 11 atoms, 12 wall-clock,
@@ -163,6 +165,10 @@ fn parse_args() -> Result<Args, String> {
         workers: 2,
         queue: 16,
     };
+    // The host's available parallelism, for `--threads 0` / `--workers 0`.
+    fn detected_parallelism() -> usize {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    }
     // A flag's value, or a named error if the command line ends first.
     fn value(argv: &mut impl Iterator<Item = String>, flag: &str) -> Result<String, String> {
         argv.next().ok_or_else(|| format!("`{flag}` requires a value"))
@@ -210,10 +216,9 @@ fn parse_args() -> Result<Args, String> {
             }
             "--recover" => out.recover = true,
             "--threads" => {
-                out.threads = number(&mut argv, "--threads")?;
-                if out.threads == 0 {
-                    return Err("`--threads` expects a positive integer, got `0`".to_string());
-                }
+                let n: usize = number(&mut argv, "--threads")?;
+                // 0 means "use every core the host offers".
+                out.threads = if n == 0 { detected_parallelism() } else { n };
             }
             "--trace" => out.trace = Some(value(&mut argv, "--trace")?),
             "--metrics" => out.metrics = Some(value(&mut argv, "--metrics")?),
@@ -238,10 +243,8 @@ fn parse_args() -> Result<Args, String> {
             "--store" => out.store = Some(value(&mut argv, "--store")?),
             "--addr" => out.addr = value(&mut argv, "--addr")?,
             "--workers" => {
-                out.workers = number(&mut argv, "--workers")?;
-                if out.workers == 0 {
-                    return Err("`--workers` expects a positive integer, got `0`".to_string());
-                }
+                let n: usize = number(&mut argv, "--workers")?;
+                out.workers = if n == 0 { detected_parallelism() } else { n };
             }
             "--queue" => {
                 out.queue = number(&mut argv, "--queue")?;

@@ -259,6 +259,29 @@ fn threaded_chase_output_is_identical_to_the_sequential_default() {
 }
 
 #[test]
+fn threads_zero_auto_detects_and_garbage_is_a_named_error() {
+    let path = write_rules(
+        "threads-auto.rules",
+        "e(a, b). e(X, Y) -> e(Y, Z). e(X, Y) -> f(Y, W). f(X, Y) -> e(Y, Z).",
+    );
+    // `--threads 0` means one worker per available core — the run must
+    // succeed and stay bit-identical to the sequential default.
+    let (seq_out, _, seq_code) = run(&["chase", path.to_str().unwrap(), "--steps", "120"]);
+    let (auto_out, _, auto_code) =
+        run(&["chase", path.to_str().unwrap(), "--steps", "120", "--threads", "0"]);
+    assert_eq!(auto_code, seq_code, "{auto_out}");
+    assert_eq!(auto_out, seq_out);
+    // Garbage values still produce a named argument error, not a panic.
+    let (_, stderr, code) = run(&["chase", path.to_str().unwrap(), "--threads", "lots"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("`--threads`"), "{stderr}");
+    assert!(stderr.contains("`lots`"), "{stderr}");
+    let (_, stderr, code) = run(&["serve", "--store", "/tmp/never", "--workers", "-3"]);
+    assert_eq!(code, Some(2));
+    assert!(stderr.contains("`--workers`"), "{stderr}");
+}
+
+#[test]
 fn threaded_chase_keeps_the_exit_code_contract() {
     let diverging = write_rules("threads-codes.rules", "p(a, b). p(X, Y) -> p(Y, Z).");
     let saturating = write_rules("threads-sat.rules", "e(a, b). e(X, Y) -> t(Y, X).");
@@ -295,18 +318,6 @@ fn threaded_chase_keeps_the_exit_code_contract() {
         "4",
     ]);
     assert_eq!(code, Some(13), "{stdout}");
-}
-
-#[test]
-fn bad_thread_counts_are_named_in_the_error() {
-    let path = write_rules("threads-bad.rules", "p(X) -> q(X).");
-    let (_, stderr, code) = run(&["chase", path.to_str().unwrap(), "--threads", "0"]);
-    assert_eq!(code, Some(2));
-    assert!(stderr.contains("--threads"), "{stderr}");
-    let (_, stderr, code) = run(&["chase", path.to_str().unwrap(), "--threads", "lots"]);
-    assert_eq!(code, Some(2));
-    assert!(stderr.contains("--threads"), "{stderr}");
-    assert!(stderr.contains("lots"), "{stderr}");
 }
 
 #[test]
@@ -833,8 +844,9 @@ fn serve_and_flush_flags_are_validated_up_front() {
     assert_eq!(code, Some(2), "{stderr}");
     assert!(stderr.contains("--journal-flush-every"), "{stderr}");
     assert!(stderr.contains("--journal"), "{stderr}");
-    // Zero is not a batch size, a worker count, or a queue depth.
-    for flag in ["--journal-flush-every", "--workers", "--queue"] {
+    // Zero is not a batch size or a queue depth (`--workers 0` is valid:
+    // it means auto-detect, covered by the threads-auto test).
+    for flag in ["--journal-flush-every", "--queue"] {
         let (_, stderr, code) = run(&["serve", "--store", "/tmp/nope", flag, "0"]);
         assert_eq!(code, Some(2), "{flag}: {stderr}");
         assert!(stderr.contains(flag), "{flag}: {stderr}");
