@@ -12,10 +12,15 @@
 //! isolates pure orchestration cost (the persistent pool keeps it near 1;
 //! the old per-round spawn made it 16×).
 //!
-//! The file also carries an `ablation/indexed_matching` row comparing the
-//! current sequential median against the seed data layout's committed
-//! baseline (13184 µs at commit c19b342, same workload/budget/host) — the
-//! before/after for the interned-arena + columnar-postings rebuild.
+//! The file also carries two ablation rows. `ablation/indexed_matching`
+//! compares the current sequential median against the seed data layout's
+//! committed baseline (13184 µs at commit c19b342, same workload/budget/
+//! host) — the before/after for the interned-arena + columnar-postings
+//! rebuild. `ablation/incremental` times a single-fact DRed retraction
+//! (cone overdelete + re-derivation + completion) on a saturated machine
+//! against re-chasing the edited instance from scratch — the case for the
+//! incremental update path over `chasekit update`'s alternative of a full
+//! re-run.
 //!
 //! Set `CHASEKIT_BENCH_QUICK=1` for a smoke run (fewer seeds, smaller
 //! budget, fewer repeats): it exercises every code path and still writes
@@ -27,9 +32,9 @@ use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use chasekit_core::{CriticalInstance, Program};
+use chasekit_core::{CriticalInstance, Instance, Program};
 use chasekit_datagen::{random_guarded, RandomConfig};
-use chasekit_engine::{Budget, ChaseConfig, ChaseMachine, ChaseVariant};
+use chasekit_engine::{Budget, ChaseConfig, ChaseMachine, ChaseVariant, Edit};
 
 const THREADS: [usize; 4] = [1, 2, 4, 8];
 
@@ -88,6 +93,59 @@ fn median_us(programs: &[Program], threads: usize) -> u64 {
     let mut runs: Vec<u64> = (0..repeats).map(|_| sweep_us(programs, threads)).collect();
     runs.sort_unstable();
     runs[runs.len() / 2]
+}
+
+/// Times a one-fact retraction repaired in place against a from-scratch
+/// re-chase of the same edited instance, summed over the population.
+/// Returns `(retract_repair_us, full_rechase_us)` medians. The saturating
+/// setup chase is untimed — both sides start from the same chased state
+/// and the question is purely "repair the cone, or throw the instance away
+/// and re-derive everything".
+fn incremental_vs_full_us(programs: &[Program]) -> (u64, u64) {
+    let repeats = if quick() { 3 } else { 5 };
+    let mut inc_runs: Vec<u64> = Vec::new();
+    let mut full_runs: Vec<u64> = Vec::new();
+    for _ in 0..repeats {
+        let mut inc_total = 0u64;
+        let mut full_total = 0u64;
+        for program in programs {
+            let mut p = program.clone();
+            let initial = CriticalInstance::build(&mut p).instance;
+            let victim = initial.iter().next().map(|(_, a)| a.to_atom()).expect("non-empty");
+            let cfg = ChaseConfig::of(ChaseVariant::SemiOblivious).with_derivation();
+            let mut m = ChaseMachine::new(&p, cfg, initial.clone());
+            let _ = m.run(&budget());
+
+            // Timed: DRed repair under the *same* cumulative budget as the
+            // initial run. A retraction's replay re-fires with surviving
+            // support inside the repair itself, so no extra application
+            // headroom is owed — granting more would have the completion
+            // chase push the frontier further than the full re-chase's cap
+            // and time new derivation work, not the repair.
+            let start = Instant::now();
+            m.apply_edits(&[Edit::Retract(victim.clone())], &budget()).expect("repair");
+            black_box(m.instance().len());
+            inc_total += start.elapsed().as_micros() as u64;
+
+            // Timed: chase the edited instance from scratch under the same
+            // config (derivation tracking on, so a later edit would again
+            // be repairable — the honest apples-to-apples alternative).
+            let edited = Instance::from_atoms(
+                initial.iter().map(|(_, a)| a.to_atom()).filter(|a| *a != victim),
+            );
+            let cfg = ChaseConfig::of(ChaseVariant::SemiOblivious).with_derivation();
+            let start = Instant::now();
+            let mut full = ChaseMachine::new(&p, cfg, edited);
+            let _ = full.run(&budget());
+            black_box(full.instance().len());
+            full_total += start.elapsed().as_micros() as u64;
+        }
+        inc_runs.push(inc_total);
+        full_runs.push(full_total);
+    }
+    inc_runs.sort_unstable();
+    full_runs.sort_unstable();
+    (inc_runs[inc_runs.len() / 2], full_runs[full_runs.len() / 2])
 }
 
 fn bench_parallel_chase(c: &mut Criterion) {
@@ -155,12 +213,19 @@ fn bench_parallel_chase(c: &mut Criterion) {
     };
 
     // Before/after for the storage rebuild: sequential median on the new
-    // interned layout vs. the committed seed-layout baseline.
+    // interned layout vs. the committed seed-layout baseline. Plus the
+    // incremental-update case: repairing a one-fact retraction in place
+    // vs. re-chasing the edited instance from scratch.
     let vs_seed = SEED_LAYOUT_T1_US as f64 / t1 as f64;
+    let (inc_us, full_us) = incremental_vs_full_us(&programs);
+    let inc_speedup = full_us.max(1) as f64 / inc_us.max(1) as f64;
     let ablation_json = format!(
         "  \"ablation\": {{\"indexed_matching\": {{\"seed_layout_t1_us\": {SEED_LAYOUT_T1_US}, \
          \"seed_layout_commit\": \"c19b342\", \"interned_layout_t1_us\": {t1}, \
-         \"speedup_vs_seed\": {vs_seed:.3}}}}},\n"
+         \"speedup_vs_seed\": {vs_seed:.3}}}, \
+         \"incremental\": {{\"retract_repair_us\": {inc_us}, \
+         \"full_rechase_us\": {full_us}, \
+         \"speedup_vs_full_rechase\": {inc_speedup:.3}}}}},\n"
     );
 
     let workload = if quick() {
@@ -184,6 +249,10 @@ fn bench_parallel_chase(c: &mut Criterion) {
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_parallel_chase.json");
     std::fs::write(out, &json).expect("write BENCH_parallel_chase.json");
     eprintln!("parallel_chase: host_cpus = {host_cpus}, t1 = {t1}us, vs seed layout = {vs_seed:.3}x");
+    eprintln!(
+        "parallel_chase: retract+repair = {inc_us}us vs full re-chase = {full_us}us \
+         ({inc_speedup:.3}x)"
+    );
     eprintln!("parallel_chase: wrote {out}");
 }
 

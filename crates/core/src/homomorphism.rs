@@ -120,17 +120,21 @@ pub struct InstanceView<'a> {
 impl<'a> InstanceView<'a> {
     /// A view of the whole instance as it currently stands.
     pub fn full(instance: &'a Instance) -> Self {
-        InstanceView { instance, len: instance.len() }
+        // The horizon is an *id* bound, so it lives in slab space: after
+        // retractions the live count undershoots the id high-water mark
+        // and would wrongly hide the newest live atoms.
+        InstanceView { instance, len: instance.slab_len() }
     }
 
-    /// A view of the first `len` atoms (clamped to the current length):
-    /// the instance exactly as it stood when its `len`-th atom had just
-    /// been inserted.
+    /// A view of the first `len` slab slots (clamped to the current slab
+    /// length): the instance exactly as it stood when its `len`-th atom
+    /// had just been inserted, minus anything retracted since.
     pub fn prefix(instance: &'a Instance, len: usize) -> Self {
-        InstanceView { instance, len: len.min(instance.len()) }
+        InstanceView { instance, len: len.min(instance.slab_len()) }
     }
 
-    /// Number of atoms visible through the view.
+    /// Id horizon of the view (a bound on visible atom ids, not a count
+    /// of live atoms).
     #[inline]
     pub fn len(&self) -> usize {
         self.len

@@ -111,6 +111,46 @@ impl DedupTable {
             self.slots[i] = (h, idp1);
         }
     }
+
+    /// Removes the entry `(hash, id)` if present, using backward-shift
+    /// deletion so probe chains stay intact without tombstone slots.
+    fn remove(&mut self, hash: u64, id: u32) {
+        if self.slots.is_empty() {
+            return;
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = (hash as usize) & mask;
+        loop {
+            let (h, idp1) = self.slots[i];
+            if idp1 == 0 {
+                return;
+            }
+            if h == hash && idp1 == id + 1 {
+                break;
+            }
+            i = (i + 1) & mask;
+        }
+        self.slots[i] = (0, 0);
+        self.len -= 1;
+        // Backward-shift: any later entry in the same probe cluster whose
+        // natural slot lies at or before the vacated slot moves into it.
+        let mut j = (i + 1) & mask;
+        loop {
+            let (h, idp1) = self.slots[j];
+            if idp1 == 0 {
+                return;
+            }
+            let natural = (h as usize) & mask;
+            let fill_dist = j.wrapping_sub(i) & mask;
+            let probe_dist = j.wrapping_sub(natural) & mask;
+            if probe_dist >= fill_dist {
+                self.slots[i] = (h, idp1);
+                self.slots[j] = (0, 0);
+                i = j;
+            }
+            j = (j + 1) & mask;
+        }
+    }
 }
 
 /// Hashes an atom's identity — predicate plus argument slice.
@@ -126,6 +166,13 @@ fn hash_parts(pred: PredId, args: &[Term]) -> u64 {
 }
 
 /// An indexed, deduplicated set of ground atoms.
+///
+/// Atoms can be **retracted** ([`Instance::retract`]): the slab entry is
+/// tombstoned (its interned content stays readable through
+/// [`Instance::atom`], so provenance structures holding old ids can still
+/// resolve them), while the dedup table and every posting list are
+/// repaired so lookups and the matcher only ever see live atoms. Ids are
+/// never reused; re-inserting retracted content mints a fresh id.
 #[derive(Debug, Default, Clone)]
 pub struct Instance {
     /// Predicate of atom `i`.
@@ -140,6 +187,10 @@ pub struct Instance {
     by_pred: Vec<PredIndex>,
     by_null: FxHashMap<NullId, Vec<AtomId>>,
     next_null: u32,
+    /// Liveness of atom `i`; retraction tombstones the slab entry.
+    live: Vec<bool>,
+    /// Number of tombstoned slab entries (`live` flags set to false).
+    dead: usize,
 }
 
 impl Instance {
@@ -193,6 +244,7 @@ impl Instance {
         self.preds.push(pred);
         self.terms.extend_from_slice(args);
         self.ends.push(self.terms.len() as u32);
+        self.live.push(true);
         self.dedup.insert(hash, id.0);
         for &t in args {
             if let Term::Null(n) = t {
@@ -266,6 +318,9 @@ impl Instance {
     }
 
     /// Resolves an id to a zero-copy view of its atom.
+    ///
+    /// Resolves tombstoned ids too: retraction keeps the interned content
+    /// so provenance structures can read the atoms they recorded.
     #[inline]
     pub fn atom(&self, id: AtomId) -> AtomRef<'_> {
         let i = id.index();
@@ -276,23 +331,98 @@ impl Instance {
         }
     }
 
-    /// Number of atoms.
+    /// Number of live atoms.
     #[inline]
     pub fn len(&self) -> usize {
+        self.preds.len() - self.dead
+    }
+
+    /// Number of slab slots ever allocated (live atoms plus tombstones).
+    ///
+    /// This is the exclusive upper bound on atom ids: every id ever handed
+    /// out is `< slab_len()`. Prefix views and parallel-round horizons
+    /// must be expressed in this id space, not in live-atom counts.
+    #[inline]
+    pub fn slab_len(&self) -> usize {
         self.preds.len()
     }
 
-    /// Whether the instance is empty.
+    /// Whether the instance has no live atoms.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.preds.is_empty()
+        self.len() == 0
     }
 
-    /// Iterates over all atoms in insertion order.
+    /// Whether the id refers to a live (non-retracted) atom.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id was never allocated.
+    #[inline]
+    pub fn is_live(&self, id: AtomId) -> bool {
+        self.live[id.index()]
+    }
+
+    /// Retracts a live atom: tombstones its slab entry and removes it from
+    /// the dedup table and every posting list (predicate extension,
+    /// per-position postings, per-null postings). Returns `false` if the
+    /// atom was already retracted.
+    ///
+    /// The interned content stays readable through [`Instance::atom`] so
+    /// provenance structures can still resolve the dead id; `contains`,
+    /// `id_of`, and the postings-backed matcher no longer see it. The id
+    /// is never reused — re-inserting the same content yields a new id.
+    pub fn retract(&mut self, id: AtomId) -> bool {
+        let i = id.index();
+        if !self.live[i] {
+            return false;
+        }
+        self.live[i] = false;
+        self.dead += 1;
+        let start = if i == 0 { 0 } else { self.ends[i - 1] as usize };
+        let args_range = start..self.ends[i] as usize;
+        let pred = self.preds[i];
+        let hash = hash_parts(pred, &self.terms[args_range.clone()]);
+        self.dedup.remove(hash, id.0);
+        fn drop_from(posting: &mut Vec<AtomId>, id: AtomId) {
+            // Postings are strictly ascending, so binary search applies.
+            if let Ok(at) = posting.binary_search(&id) {
+                posting.remove(at);
+            }
+        }
+        for k in args_range {
+            if let Term::Null(n) = self.terms[k] {
+                if let Some(posting) = self.by_null.get_mut(&n) {
+                    drop_from(posting, id);
+                    if posting.is_empty() {
+                        self.by_null.remove(&n);
+                    }
+                }
+            }
+        }
+        let pi = &mut self.by_pred[pred.index()];
+        drop_from(&mut pi.ids, id);
+        let arity = self.ends[i] as usize - start;
+        for pos in 0..arity {
+            let t = self.terms[start + pos];
+            if let Some(posting) = pi.by_pos[pos].get_mut(&t) {
+                drop_from(posting, id);
+                if posting.is_empty() {
+                    pi.by_pos[pos].remove(&t);
+                }
+            }
+        }
+        true
+    }
+
+    /// Iterates over all live atoms in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = (AtomId, AtomRef<'_>)> {
-        (0..self.len()).map(|i| {
+        (0..self.slab_len()).filter_map(|i| {
+            if !self.live[i] {
+                return None;
+            }
             let id = AtomId::from_index(i);
-            (id, self.atom(id))
+            Some((id, self.atom(id)))
         })
     }
 
@@ -321,13 +451,15 @@ impl Instance {
         self.by_null.get(&null).map(Vec::as_slice).unwrap_or(&[])
     }
 
-    /// All distinct terms of the atom set (order unspecified).
+    /// All distinct terms of the live atom set (order unspecified).
     pub fn terms(&self) -> Vec<Term> {
         let mut seen = crate::fxhash::FxHashSet::default();
         let mut out = Vec::new();
-        for &t in &self.terms {
-            if seen.insert(t) {
-                out.push(t);
+        for (_, atom) in self.iter() {
+            for &t in atom.args {
+                if seen.insert(t) {
+                    out.push(t);
+                }
             }
         }
         out
@@ -467,6 +599,77 @@ mod tests {
         let (b, _) = inst.insert(atom(0, vec![c(0), c(0)]));
         assert_ne!(a, b);
         assert_eq!(inst.with_pred(PredId(0)).len(), 2);
+    }
+
+    #[test]
+    fn retract_tombstones_and_repairs_postings() {
+        let mut inst = Instance::new();
+        let (a, _) = inst.insert(atom(0, vec![c(0), c(1)]));
+        let (b, _) = inst.insert(atom(0, vec![c(0), c(2)]));
+        let (x, _) = inst.insert(atom(1, vec![n(0)]));
+        assert!(inst.retract(a));
+        assert!(!inst.retract(a), "double retraction is a no-op");
+        assert_eq!(inst.len(), 2);
+        assert_eq!(inst.slab_len(), 3);
+        assert!(!inst.is_live(a));
+        assert!(inst.is_live(b) && inst.is_live(x));
+        // Content lookup no longer sees the tombstone.
+        assert!(!inst.contains(&atom(0, vec![c(0), c(1)])));
+        assert!(inst.contains(&atom(0, vec![c(0), c(2)])));
+        // Postings are repaired.
+        assert_eq!(inst.with_pred(PredId(0)), &[b]);
+        assert_eq!(inst.with_pred_pos_term(PredId(0), 0, c(0)), &[b]);
+        assert!(inst.with_pred_pos_term(PredId(0), 1, c(1)).is_empty());
+        // The slab still resolves the dead id's content.
+        assert_eq!(inst.atom(a).to_atom(), atom(0, vec![c(0), c(1)]));
+        // Null postings are repaired too.
+        assert!(inst.retract(x));
+        assert!(inst.with_null(NullId(0)).is_empty());
+    }
+
+    #[test]
+    fn reinsert_after_retract_mints_fresh_id() {
+        let mut inst = Instance::new();
+        let (a, _) = inst.insert(atom(0, vec![c(0)]));
+        inst.retract(a);
+        let (a2, fresh) = inst.insert(atom(0, vec![c(0)]));
+        assert!(fresh, "retracted content re-enters as a new atom");
+        assert_ne!(a, a2);
+        assert_eq!(inst.id_of(&atom(0, vec![c(0)])), Some(a2));
+        assert_eq!(inst.len(), 1);
+        assert_eq!(inst.slab_len(), 2);
+        assert_eq!(inst.with_pred(PredId(0)), &[a2]);
+    }
+
+    #[test]
+    fn dedup_survives_interleaved_retraction_and_growth() {
+        // Backward-shift deletion must keep probe chains intact across
+        // bulk delete/re-insert cycles that straddle table growth.
+        let mut inst = Instance::new();
+        let mut ids = Vec::new();
+        for i in 0..500 {
+            let (id, fresh) = inst.insert(atom(i % 5, vec![c(i), c(i / 2)]));
+            assert!(fresh);
+            ids.push((id, i));
+        }
+        for &(id, i) in ids.iter().step_by(3) {
+            assert!(inst.retract(id));
+            assert!(inst.id_of(&atom(i % 5, vec![c(i), c(i / 2)])).is_none());
+        }
+        for &(id, i) in &ids {
+            let present = inst.id_of(&atom(i % 5, vec![c(i), c(i / 2)]));
+            if inst.is_live(id) {
+                assert_eq!(present, Some(id), "live atom {i} must stay findable");
+            } else {
+                assert_eq!(present, None, "dead atom {i} must not be findable");
+            }
+        }
+        // Re-insert everything; dead content returns under fresh ids.
+        for &(id, i) in &ids {
+            let (new_id, fresh) = inst.insert(atom(i % 5, vec![c(i), c(i / 2)]));
+            assert_eq!(fresh, id != new_id);
+        }
+        assert_eq!(inst.len(), 500);
     }
 
     #[test]

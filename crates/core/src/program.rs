@@ -84,6 +84,14 @@ impl Program {
         Ok(())
     }
 
+    /// Removes every occurrence of a ground fact; returns whether any was
+    /// present. Used when applying edit scripts to a program's base.
+    pub fn remove_fact(&mut self, fact: &Atom) -> bool {
+        let before = self.facts.len();
+        self.facts.retain(|f| f != fact);
+        self.facts.len() != before
+    }
+
     /// The syntactic class of the rule set.
     pub fn class(&self) -> RuleClass {
         RuleClass::of(&self.rules)

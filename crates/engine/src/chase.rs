@@ -187,6 +187,11 @@ pub struct ChaseMachine<'p> {
     /// parallel-round driver on the first fanned-out round and kept across
     /// rounds (see [`crate::pool`]). Joined on drop.
     pub(crate) pool: Option<crate::pool::DiscoveryPool>,
+    /// Triggers the restricted variant skipped as already satisfied,
+    /// recorded only when `track_derivation` is on. Incremental retraction
+    /// must re-open a skip whose satisfaction witness was deleted
+    /// (see [`crate::incremental`]); untracked runs record nothing.
+    pub(crate) skipped: Vec<Trigger>,
 }
 
 impl<'p> ChaseMachine<'p> {
@@ -241,6 +246,7 @@ impl<'p> ChaseMachine<'p> {
             scratch: MatchScratch::default(),
             args_buf: Vec::new(),
             pool: None,
+            skipped: Vec::new(),
         };
         for rule_idx in 0..program.rules().len() {
             machine.enqueue_matches(rule_idx, None);
@@ -364,7 +370,7 @@ impl<'p> ChaseMachine<'p> {
 
     /// Finds triggers for `rule_idx`, optionally pinned to a new atom, and
     /// enqueues the identity-fresh ones.
-    fn enqueue_matches(&mut self, rule_idx: usize, pinned: Option<AtomId>) {
+    pub(crate) fn enqueue_matches(&mut self, rule_idx: usize, pinned: Option<AtomId>) {
         let rule = &self.program.rules()[rule_idx];
 
         // Collect first (can't borrow self mutably inside the closure).
@@ -477,6 +483,17 @@ impl<'p> ChaseMachine<'p> {
             )
         {
             self.stats.satisfied_skips += 1;
+            if self.config.track_derivation {
+                // Remember the skip so incremental retraction can re-open
+                // it if its satisfaction witness is later deleted (see
+                // `crate::incremental`). Only derivation-tracked machines
+                // are updatable, so untracked runs pay nothing.
+                self.skipped.push(Trigger {
+                    rule: trigger.rule,
+                    subst: trigger.subst.clone(),
+                });
+                self.approx_bytes += approx_trigger_bytes(trigger.subst.len());
+            }
             if let Some(t) = &mut self.trace {
                 t.core(TraceEvent::TriggerSkipped { rule: trigger.rule });
             }
@@ -521,6 +538,15 @@ impl<'p> ChaseMachine<'p> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.stats.applications += 1;
+
+        // Capture the trigger's identity key before existential binding
+        // (it is a projection onto universal variables only). Retraction
+        // repair needs it to release `seen` entries for dead matches.
+        let key = if self.config.track_derivation {
+            self.config.variant.trigger_key(rule, &trigger.subst)
+        } else {
+            Vec::new()
+        };
 
         // Extend the substitution with fresh nulls for the existentials.
         let mut subst = trigger.subst;
@@ -568,6 +594,7 @@ impl<'p> ChaseMachine<'p> {
                 parents,
                 primary_parent,
                 frontier,
+                key,
                 born_nulls: born,
                 produced: Vec::new(),
             }))

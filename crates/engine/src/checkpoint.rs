@@ -109,6 +109,13 @@ impl<'p> ChaseMachine<'p> {
     /// run (clones the instance, queue, and identity set); callable at any
     /// step boundary, including after a guardrail stop.
     pub fn snapshot(&self) -> Checkpoint {
+        // An updated machine (see `crate::incremental`) holds tombstoned
+        // slab ids that the derivation DAG still references; re-numbering
+        // the atoms densely here would silently detach the DAG.
+        debug_assert!(
+            self.instance.len() == self.instance.slab_len() || !self.config.track_derivation,
+            "cannot snapshot a machine with retracted atoms"
+        );
         let mut seen: Vec<(u32, Vec<Term>)> = self.seen.iter().cloned().collect();
         seen.sort();
         let mut skolem: Vec<(NullId, SkolemInfo)> =
@@ -240,6 +247,7 @@ impl Checkpoint {
             scratch: chasekit_core::MatchScratch::default(),
             args_buf: Vec::new(),
             pool: None,
+            skipped: Vec::new(),
         })
     }
 

@@ -1,0 +1,928 @@
+//! Incremental updates: DRed-style retraction over the derivation DAG.
+//!
+//! A chase run that tracked derivations ([`crate::chase::ChaseConfig::track_derivation`])
+//! can be *updated in place* instead of re-chased from scratch:
+//!
+//! - **Additions** enter through the ordinary delta-matching path: the new
+//!   atom is inserted, trigger discovery runs pinned to it, and the
+//!   completion run saturates the queue.
+//! - **Retractions** follow delete-and-rederive (DRed). Retracting a base
+//!   fact computes its *derivation cone* — every application transitively
+//!   consuming it and every atom those applications first created — via
+//!   [`DerivationDag::cone_of`], tombstones the cone in the instance
+//!   ([`Instance::retract`]), and then re-derives survivors: an application
+//!   in the cone whose body image still exists (through atoms outside the
+//!   cone, or atoms restored earlier in the replay) is re-fired with its
+//!   original nulls, so surviving derivations keep their Skolem identity.
+//!   Applications with no surviving support are dropped, their trigger
+//!   identities are released so future additions can re-admit them, and the
+//!   DAG is rebuilt from the surviving applications.
+//!
+//! Two properties make the replay exact rather than a fixpoint guess:
+//!
+//! 1. Re-fired applications insert their **full head image**, not just the
+//!    atoms they originally produced. An atom that was recorded as a
+//!    duplicate at first firing (some earlier application produced it) may
+//!    have lost that earlier creator; the re-firing application adopts it.
+//! 2. Live applications are scanned for head atoms lost to the cone: their
+//!    bodies are intact by construction, so any missing head content is
+//!    restored unconditionally. This covers the case where the retracted
+//!    fact itself (or a cone atom) is independently derivable — exactly the
+//!    "re-derivation" half of DRed.
+//!
+//! The replay iterates to a fixpoint (a later application's head image can
+//!    restore an earlier application's support), which terminates because
+//! every pass either re-fires an application or stops.
+//!
+//! **Variant semantics.** For the oblivious and semi-oblivious chase the
+//! updated machine is equivalent to a from-scratch chase of the edited
+//! base: same atoms up to the Skolem-canonical naming of nulls (see
+//! [`canonical_form`]). The restricted chase is order-dependent, so the
+//! updated machine is instead a *restricted-chase-valid* result: a model
+//! hom-equivalent to the from-scratch result. To keep that guarantee the
+//! machine records triggers skipped as "already satisfied"; a retraction
+//! that deletes a skip's satisfaction witness re-opens the trigger.
+//!
+//! Updated machines cannot be checkpointed (atom ids are no longer dense;
+//! see [`crate::checkpoint`]); callers that need a durable artifact should
+//! rebuild from the edited program ([`edited_program`]) — that rebuild is
+//! bit-identical to a from-scratch run by construction and is what the
+//! differential tests pin down.
+
+use chasekit_core::{
+    Atom, AtomId, FxHashMap, FxHashSet, Instance, NullId, PredId, Program, Term, Tgd,
+};
+
+use crate::chase::ChaseMachine;
+use crate::derivation::{Application, DerivationDag};
+use crate::guard::{
+    approx_atom_bytes, approx_identity_bytes, approx_trigger_bytes, Budget, StopReason,
+};
+use crate::trace::TraceEvent;
+
+/// One line of an edit script: add or retract a ground base fact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Edit {
+    /// Insert the fact into the base (no-op if the content is present).
+    Add(Atom),
+    /// Retract the fact from the base, with DRed repair of its cone.
+    Retract(Atom),
+}
+
+/// Errors surfaced by the update subsystem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UpdateError {
+    /// The machine was built without `track_derivation`; retraction needs
+    /// the derivation DAG to compute cones.
+    DerivationRequired,
+    /// The machine has a write-ahead journal installed. Journals replay
+    /// from the base program, which an in-place update invalidates; use a
+    /// rebuild through [`edited_program`] for durable runs.
+    Journaled,
+    /// The retraction target exists but was chase-derived, not a base fact.
+    NotABaseFact(String),
+    /// The fact contains variables or nulls.
+    NonGround(String),
+    /// The fact's predicate or arity does not match the program vocabulary.
+    Vocabulary(String),
+    /// An edit-script line failed to parse (1-based line number).
+    Script {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// What went wrong.
+        msg: String,
+    },
+}
+
+impl std::fmt::Display for UpdateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UpdateError::DerivationRequired => {
+                write!(f, "incremental updates require a derivation-tracking machine")
+            }
+            UpdateError::Journaled => {
+                write!(f, "cannot update a journaled machine in place; rebuild instead")
+            }
+            UpdateError::NotABaseFact(a) => {
+                write!(f, "cannot retract {a}: it is chase-derived, not a base fact")
+            }
+            UpdateError::NonGround(a) => write!(f, "edit fact {a} is not ground"),
+            UpdateError::Vocabulary(a) => {
+                write!(f, "edit fact {a} does not match the program vocabulary")
+            }
+            UpdateError::Script { line, msg } => write!(f, "edit script line {line}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for UpdateError {}
+
+/// Summary of a single retraction's repair.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetractOutcome {
+    /// The target content was absent; nothing happened.
+    pub missing: bool,
+    /// Atoms tombstoned, including the base fact itself.
+    pub overdeleted: usize,
+    /// Applications in the cone that lost their support for good.
+    pub invalidated_apps: usize,
+    /// Applications in the cone re-fired with surviving support.
+    pub rederived_apps: usize,
+    /// Atoms restored by re-firing and live-head completion.
+    pub restored_atoms: usize,
+    /// Restricted only: recorded satisfied-skips re-opened because their
+    /// witness died.
+    pub reopened_skips: usize,
+}
+
+/// Summary of an applied edit script.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UpdateReport {
+    /// Add edits that inserted a genuinely new atom.
+    pub adds: usize,
+    /// Add edits whose content was already present.
+    pub duplicate_adds: usize,
+    /// Retract edits that removed a present base fact.
+    pub retracts: usize,
+    /// Retract edits whose target was absent.
+    pub missing_retracts: usize,
+    /// Total atoms tombstoned across all retractions.
+    pub overdeleted: usize,
+    /// Total applications permanently invalidated.
+    pub invalidated_apps: usize,
+    /// Total applications re-fired during repair.
+    pub rederived_apps: usize,
+    /// Total atoms restored during repair.
+    pub restored_atoms: usize,
+    /// Total satisfied-skips re-opened (restricted variant).
+    pub reopened_skips: usize,
+    /// How the completion chase after the edits stopped.
+    pub outcome: StopReason,
+}
+
+impl<'p> ChaseMachine<'p> {
+    fn require_updatable(&self) -> Result<(), UpdateError> {
+        if !self.config.track_derivation {
+            return Err(UpdateError::DerivationRequired);
+        }
+        if self.journal.is_some() {
+            return Err(UpdateError::Journaled);
+        }
+        Ok(())
+    }
+
+    /// Adds a base fact and discovers the triggers it enables. Returns
+    /// whether the content was new. Does **not** run the chase; call
+    /// [`run`](Self::run) (or use [`apply_edits`](Self::apply_edits)) to
+    /// saturate afterwards.
+    pub fn add_fact(&mut self, fact: &Atom) -> Result<bool, UpdateError> {
+        self.require_updatable()?;
+        check_vocab(self.program, fact)?;
+        let (id, fresh) = self.instance.insert(fact.clone());
+        if !fresh {
+            return Ok(false);
+        }
+        self.approx_bytes += approx_atom_bytes(fact.arity());
+        if self.config.naive_matching {
+            for rule_idx in 0..self.program.rules().len() {
+                self.enqueue_matches(rule_idx, None);
+            }
+        } else {
+            for rule_idx in 0..self.program.rules().len() {
+                self.enqueue_matches(rule_idx, Some(id));
+            }
+        }
+        Ok(true)
+    }
+
+    /// Retracts a base fact, deleting its derivation cone and re-deriving
+    /// everything with surviving support (DRed). Leaves the machine in a
+    /// consistent mid-run state; the pending queue may be non-empty (e.g.
+    /// re-opened restricted skips) — [`apply_edits`](Self::apply_edits)
+    /// runs the completion chase.
+    ///
+    /// Retracting an absent content is a lenient no-op (reported via
+    /// [`RetractOutcome::missing`]); retracting a *derived* atom is an
+    /// error — DRed retraction is defined on the base.
+    pub fn retract_fact(&mut self, fact: &Atom) -> Result<RetractOutcome, UpdateError> {
+        self.require_updatable()?;
+        check_vocab(self.program, fact)?;
+        let mut out = RetractOutcome::default();
+        let Some(root) = self.instance.id_of(fact) else {
+            out.missing = true;
+            return Ok(out);
+        };
+        if self.derivation.creator_of(root).is_some() {
+            return Err(UpdateError::NotABaseFact(format!("{fact:?}")));
+        }
+
+        // Phase 1: overdelete the cone.
+        let (dead_apps, dead_atoms) = self.derivation.cone_of(root);
+        for id in std::iter::once(root).chain(dead_atoms.iter().copied()) {
+            let arity = self.instance.atom(id).arity();
+            if self.instance.retract(id) {
+                out.overdeleted += 1;
+                self.approx_bytes = self.approx_bytes.saturating_sub(approx_atom_bytes(arity));
+            }
+        }
+        if let Some(t) = &mut self.trace {
+            t.note(TraceEvent::Retract { atoms: out.overdeleted, apps: dead_apps.len() });
+        }
+        let dead_set: FxHashSet<usize> = dead_apps.iter().copied().collect();
+
+        // Phase 2: live-head completion. A live application's body is
+        // intact (its parents are outside the cone by construction), so any
+        // of its head contents lost to the cone is restored outright. This
+        // is what lets an independently-derivable content — including the
+        // retracted fact itself — survive the retraction as derived.
+        let mut live_extra: FxHashMap<usize, Vec<AtomId>> = FxHashMap::default();
+        let mut missing: Vec<(usize, PredId, Vec<Term>)> = Vec::new();
+        for (idx, app) in self.derivation.applications().iter().enumerate() {
+            if dead_set.contains(&idx) {
+                continue;
+            }
+            let rule = &self.program.rules()[app.rule];
+            for (pred, args) in head_images(rule, app) {
+                if self.instance.id_of_parts(pred, &args).is_none() {
+                    missing.push((idx, pred, args));
+                }
+            }
+        }
+        for (idx, pred, args) in missing {
+            let (id, fresh) = self.instance.insert_terms(pred, &args);
+            if fresh {
+                out.restored_atoms += 1;
+                self.approx_bytes += approx_atom_bytes(args.len());
+                live_extra.entry(idx).or_default().push(id);
+            }
+        }
+
+        // Phase 3: replay the cone to a fixpoint, ascending seq order. An
+        // application re-fires iff every parent's *content* is present
+        // (original live atoms, or atoms restored earlier in the replay);
+        // re-firing reuses the original nulls, so surviving derivations
+        // keep their identity. Later passes can succeed where earlier ones
+        // failed — a re-fired application's full head image may restore a
+        // content some earlier application depends on.
+        let mut pending_dead: Vec<usize> = dead_apps;
+        let mut refired: FxHashMap<usize, Application> = FxHashMap::default();
+        loop {
+            let mut progressed = false;
+            let mut still: Vec<usize> = Vec::new();
+            for &idx in &pending_dead {
+                let app = self.derivation.app(idx);
+                let parents_now: Option<Vec<AtomId>> = app
+                    .parents
+                    .iter()
+                    .map(|&p| {
+                        let content = self.instance.atom(p);
+                        self.instance.id_of_parts(content.pred, content.args)
+                    })
+                    .collect();
+                let Some(parents) = parents_now else {
+                    still.push(idx);
+                    continue;
+                };
+                let rule = &self.program.rules()[app.rule];
+                let primary = rule.guard_index().and_then(|g| parents.get(g).copied());
+                let primary = primary.or_else(|| parents.first().copied());
+                let mut new_app = Application {
+                    rule: app.rule,
+                    seq: app.seq,
+                    parents,
+                    primary_parent: primary,
+                    frontier: app.frontier.clone(),
+                    key: app.key.clone(),
+                    born_nulls: app.born_nulls.clone(),
+                    produced: Vec::new(),
+                };
+                let images = head_images(rule, app);
+                for (pred, args) in images {
+                    let (id, fresh) = self.instance.insert_terms(pred, &args);
+                    if fresh {
+                        out.restored_atoms += 1;
+                        self.approx_bytes += approx_atom_bytes(args.len());
+                        new_app.produced.push(id);
+                    }
+                }
+                refired.insert(idx, new_app);
+                out.rederived_apps += 1;
+                progressed = true;
+            }
+            pending_dead = still;
+            if !progressed || pending_dead.is_empty() {
+                break;
+            }
+        }
+
+        // Phase 4: permanently dead applications release their trigger
+        // identity (a future addition may legitimately re-admit the same
+        // match) and their Skolem records.
+        for &idx in &pending_dead {
+            let app = self.derivation.app(idx);
+            let key_len = app.key.len();
+            let entry = (app.rule as u32, app.key.clone());
+            let born = app.born_nulls.clone();
+            if self.seen.remove(&entry) {
+                self.approx_bytes =
+                    self.approx_bytes.saturating_sub(approx_identity_bytes(key_len));
+            }
+            if self.config.track_skolem {
+                for n in born {
+                    self.skolem.remove(&n);
+                }
+            }
+            out.invalidated_apps += 1;
+        }
+        let forever_dead: FxHashSet<usize> = pending_dead.iter().copied().collect();
+
+        // Phase 5: rebuild the DAG from survivors, original seq order.
+        // Live applications keep their atom ids verbatim (their parents and
+        // products are outside the cone); re-fired ones carry re-resolved
+        // ids; permanently dead ones vanish.
+        let mut merged: Vec<Application> =
+            Vec::with_capacity(self.derivation.applications().len() - forever_dead.len());
+        for (idx, app) in self.derivation.applications().iter().enumerate() {
+            if let Some(new_app) = refired.remove(&idx) {
+                merged.push(new_app);
+            } else if !forever_dead.contains(&idx) {
+                let mut a = app.clone();
+                if let Some(extra) = live_extra.remove(&idx) {
+                    a.produced.extend(extra);
+                }
+                merged.push(a);
+            }
+        }
+        self.derivation = DerivationDag::from_applications(merged);
+
+        // Phase 6: queue repair. Pending triggers whose body image lost an
+        // atom are dropped and their identities released; body images are
+        // checked by content, so a trigger over restored atoms survives.
+        let queue = std::mem::take(&mut self.queue);
+        for t in queue {
+            let rule = &self.program.rules()[t.rule];
+            let holds = rule.body().iter().all(|a| self.instance.contains(&t.subst.apply_atom(a)));
+            if holds {
+                self.queue.push_back(t);
+            } else {
+                self.approx_bytes =
+                    self.approx_bytes.saturating_sub(approx_trigger_bytes(t.subst.len()));
+                let key = self.config.variant.trigger_key(rule, &t.subst);
+                let key_len = key.len();
+                if self.seen.remove(&(t.rule as u32, key)) {
+                    self.approx_bytes =
+                        self.approx_bytes.saturating_sub(approx_identity_bytes(key_len));
+                }
+            }
+        }
+
+        // Phase 7 (restricted only): re-open recorded satisfied-skips whose
+        // witness died. A skip whose body also died is forgotten entirely —
+        // its identity is released like any other dead match.
+        if self.config.variant.checks_satisfaction() {
+            let skips = std::mem::take(&mut self.skipped);
+            for t in skips {
+                let rule = &self.program.rules()[t.rule];
+                let body_holds =
+                    rule.body().iter().all(|a| self.instance.contains(&t.subst.apply_atom(a)));
+                self.approx_bytes =
+                    self.approx_bytes.saturating_sub(approx_trigger_bytes(t.subst.len()));
+                if !body_holds {
+                    let key = self.config.variant.trigger_key(rule, &t.subst);
+                    let key_len = key.len();
+                    if self.seen.remove(&(t.rule as u32, key)) {
+                        self.approx_bytes =
+                            self.approx_bytes.saturating_sub(approx_identity_bytes(key_len));
+                    }
+                    continue;
+                }
+                let satisfied = chasekit_core::exists_extension_scratch(
+                    rule.head(),
+                    rule.var_count(),
+                    &self.instance,
+                    &t.subst,
+                    &mut self.scratch,
+                );
+                if satisfied {
+                    self.approx_bytes += approx_trigger_bytes(t.subst.len());
+                    self.skipped.push(t);
+                } else {
+                    let key = self.config.variant.trigger_key(rule, &t.subst);
+                    let key_len = key.len();
+                    if self.seen.remove(&(t.rule as u32, key)) {
+                        self.approx_bytes =
+                            self.approx_bytes.saturating_sub(approx_identity_bytes(key_len));
+                    }
+                    self.admit_trigger(t.rule, t.subst);
+                    out.reopened_skips += 1;
+                }
+            }
+        }
+
+        if let Some(t) = &mut self.trace {
+            t.note(TraceEvent::Rederive { apps: out.rederived_apps, atoms: out.restored_atoms });
+        }
+        Ok(out)
+    }
+
+    /// Applies an edit script in order, then runs the completion chase.
+    ///
+    /// The budget is cumulative over the machine's lifetime (the completion
+    /// run continues the original counters), so pass a budget larger than
+    /// what the initial run consumed if the program diverges.
+    pub fn apply_edits(
+        &mut self,
+        edits: &[Edit],
+        budget: &Budget,
+    ) -> Result<UpdateReport, UpdateError> {
+        self.require_updatable()?;
+        let mut report = UpdateReport {
+            adds: 0,
+            duplicate_adds: 0,
+            retracts: 0,
+            missing_retracts: 0,
+            overdeleted: 0,
+            invalidated_apps: 0,
+            rederived_apps: 0,
+            restored_atoms: 0,
+            reopened_skips: 0,
+            outcome: StopReason::Saturated,
+        };
+        for edit in edits {
+            match edit {
+                Edit::Add(atom) => {
+                    if self.add_fact(atom)? {
+                        report.adds += 1;
+                    } else {
+                        report.duplicate_adds += 1;
+                    }
+                }
+                Edit::Retract(atom) => {
+                    let o = self.retract_fact(atom)?;
+                    if o.missing {
+                        report.missing_retracts += 1;
+                    } else {
+                        report.retracts += 1;
+                        report.overdeleted += o.overdeleted;
+                        report.invalidated_apps += o.invalidated_apps;
+                        report.rederived_apps += o.rederived_apps;
+                        report.restored_atoms += o.restored_atoms;
+                        report.reopened_skips += o.reopened_skips;
+                    }
+                }
+            }
+        }
+        if let Some(t) = &mut self.trace {
+            t.note(TraceEvent::EditApply {
+                adds: report.adds + report.duplicate_adds,
+                retracts: report.retracts + report.missing_retracts,
+            });
+        }
+        report.outcome = self.run(budget);
+        Ok(report)
+    }
+}
+
+/// Validates a fact against the program vocabulary.
+fn check_vocab(program: &Program, fact: &Atom) -> Result<(), UpdateError> {
+    if !fact.is_ground() {
+        return Err(UpdateError::NonGround(format!("{fact:?}")));
+    }
+    if fact.pred.index() >= program.vocab.pred_count()
+        || program.vocab.arity(fact.pred) != fact.arity()
+    {
+        return Err(UpdateError::Vocabulary(format!("{fact:?}")));
+    }
+    Ok(())
+}
+
+/// Reconstructs an application's full head image — every head atom under
+/// the frontier assignment and the originally-minted nulls, in head order.
+fn head_images(rule: &Tgd, app: &Application) -> Vec<(PredId, Vec<Term>)> {
+    let mut binding: Vec<Option<Term>> = vec![None; rule.var_count()];
+    for (v, t) in rule.frontier().iter().zip(&app.frontier) {
+        binding[v.index()] = Some(*t);
+    }
+    for (v, n) in rule.existentials().iter().zip(&app.born_nulls) {
+        binding[v.index()] = Some(Term::Null(*n));
+    }
+    rule.head()
+        .iter()
+        .map(|a| {
+            let args = a
+                .args
+                .iter()
+                .map(|&t| match t {
+                    Term::Var(v) => {
+                        binding[v.index()].expect("head variables are frontier or existential")
+                    }
+                    ground => ground,
+                })
+                .collect();
+            (a.pred, args)
+        })
+        .collect()
+}
+
+/// Parses an edit script: one edit per line, `add <atom>.` or
+/// `retract <atom>.`, with `%`-comments and blank lines ignored. Predicate
+/// and constant names are interned into `program`'s vocabulary (new
+/// constants are declared; predicates must agree on arity).
+pub fn parse_edit_script(text: &str, program: &mut Program) -> Result<Vec<Edit>, UpdateError> {
+    let mut out = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let lineno = idx + 1;
+        if line.is_empty() || line.starts_with('%') {
+            continue;
+        }
+        let Some((op, rest)) = line.split_once(char::is_whitespace) else {
+            return Err(UpdateError::Script {
+                line: lineno,
+                msg: "expected `add <atom>.` or `retract <atom>.`".into(),
+            });
+        };
+        let atom = parse_fact(rest.trim(), program)
+            .map_err(|msg| UpdateError::Script { line: lineno, msg })?;
+        match op {
+            "add" => out.push(Edit::Add(atom)),
+            "retract" => out.push(Edit::Retract(atom)),
+            other => {
+                return Err(UpdateError::Script {
+                    line: lineno,
+                    msg: format!("unknown edit op `{other}` (want `add` or `retract`)"),
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Parses one ground fact and interns its names into `program`'s vocab.
+fn parse_fact(text: &str, program: &mut Program) -> Result<Atom, String> {
+    let mini = Program::parse(text).map_err(|e| e.to_string())?;
+    if !mini.rules().is_empty() || mini.facts().len() != 1 {
+        return Err("each edit line must contain exactly one fact".into());
+    }
+    let fact = &mini.facts()[0];
+    let pred = program
+        .vocab
+        .declare_pred(mini.vocab.pred_name(fact.pred), fact.arity())
+        .map_err(|e| e.to_string())?;
+    let args = fact
+        .args
+        .iter()
+        .map(|&t| match t {
+            Term::Const(c) => Ok(Term::Const(program.vocab.intern_const(mini.vocab.const_name(c)))),
+            other => Err(format!("edit facts must be ground: found {other:?}")),
+        })
+        .collect::<Result<Vec<Term>, String>>()?;
+    Ok(Atom::new(pred, args))
+}
+
+/// Applies an edit script to a program's base facts, returning the edited
+/// program. `Add` is idempotent on the fact list; `Retract` removes every
+/// occurrence. This is the canonical-rebuild path: chasing the returned
+/// program from scratch is the reference an updated machine is tested
+/// against, and the route `chasekit serve` takes (the derivation DAG is
+/// not durable, so server-side updates re-admit rather than repair).
+pub fn edited_program(program: &Program, edits: &[Edit]) -> Program {
+    let mut p = program.clone();
+    for e in edits {
+        match e {
+            Edit::Add(a) => {
+                if !p.facts().contains(a) {
+                    p.add_fact(a.clone()).expect("edit atoms are validated against the vocabulary");
+                }
+            }
+            Edit::Retract(a) => {
+                p.remove_fact(a);
+            }
+        }
+    }
+    p
+}
+
+/// Renders an instance as a sorted list of atom strings with nulls named by
+/// their Skolem identity: `s<rule>.<ex>(<canonical key terms>)`, recursing
+/// through nulls in the key. Two saturated oblivious (or semi-oblivious)
+/// runs over the same base produce the same canonical form regardless of
+/// trigger order, null numbering, or update history — this is the equality
+/// the incremental differential tests check for those variants.
+pub fn canonical_form(instance: &Instance, dag: &DerivationDag) -> Vec<String> {
+    fn null_name(n: NullId, dag: &DerivationDag, names: &mut FxHashMap<NullId, String>) -> String {
+        if let Some(s) = names.get(&n) {
+            return s.clone();
+        }
+        let s = match dag.minter_of(n) {
+            // Nulls imported with the initial instance have no minter; their
+            // ids are already canonical (identical across runs).
+            None => format!("n{}", n.index()),
+            Some(idx) => {
+                let (rule, ex, key) = {
+                    let app = dag.app(idx);
+                    let ex = app
+                        .born_nulls
+                        .iter()
+                        .position(|&b| b == n)
+                        .expect("minter lists its null");
+                    (app.rule, ex, app.key.clone())
+                };
+                let args: Vec<String> = key.iter().map(|&t| term_name(t, dag, names)).collect();
+                format!("s{rule}.{ex}({})", args.join(","))
+            }
+        };
+        names.insert(n, s.clone());
+        s
+    }
+    fn term_name(t: Term, dag: &DerivationDag, names: &mut FxHashMap<NullId, String>) -> String {
+        match t {
+            Term::Const(c) => format!("c{}", c.index()),
+            Term::Null(n) => null_name(n, dag, names),
+            Term::Var(v) => format!("v{}", v.index()),
+        }
+    }
+    let mut names: FxHashMap<NullId, String> = FxHashMap::default();
+    let mut out: Vec<String> = Vec::with_capacity(instance.len());
+    for (_, a) in instance.iter() {
+        let args: Vec<String> = a.args.iter().map(|&t| term_name(t, dag, &mut names)).collect();
+        out.push(format!("p{}({})", a.pred.index(), args.join(",")));
+    }
+    out.sort();
+    out
+}
+
+/// Checks the DRed support invariant: every live derived atom's creating
+/// application has only live parents, and the creator graph is acyclic (so
+/// every survivor is grounded in surviving base facts). Returns the first
+/// violation found.
+pub fn check_support(instance: &Instance, dag: &DerivationDag) -> Result<(), String> {
+    for (id, _) in instance.iter() {
+        if let Some(app) = dag.creator_of(id) {
+            for &p in &app.parents {
+                if !instance.is_live(p) {
+                    return Err(format!(
+                        "atom #{} (creator seq {}) has dead parent #{}",
+                        id.index(),
+                        app.seq,
+                        p.index()
+                    ));
+                }
+            }
+        }
+    }
+    // Acyclicity of atom -> creator-parents edges, iterative three-color DFS.
+    const IN_STACK: u8 = 1;
+    const DONE: u8 = 2;
+    let mut state: FxHashMap<AtomId, u8> = FxHashMap::default();
+    for (start, _) in instance.iter() {
+        if state.get(&start) == Some(&DONE) {
+            continue;
+        }
+        let mut stack: Vec<(AtomId, usize)> = vec![(start, 0)];
+        state.insert(start, IN_STACK);
+        while let Some(&(cur, child)) = stack.last() {
+            let parents = dag.creator_of(cur).map(|a| a.parents.as_slice()).unwrap_or(&[]);
+            if child >= parents.len() {
+                state.insert(cur, DONE);
+                stack.pop();
+                continue;
+            }
+            stack.last_mut().expect("stack is non-empty").1 += 1;
+            let next = parents[child];
+            match state.get(&next) {
+                Some(&IN_STACK) => {
+                    return Err(format!(
+                        "derivation cycle through atom #{}",
+                        next.index()
+                    ));
+                }
+                Some(&DONE) => {}
+                _ => {
+                    state.insert(next, IN_STACK);
+                    stack.push((next, 0));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chase::{is_model, ChaseConfig};
+    use crate::variant::ChaseVariant;
+
+    fn machine(p: &Program, variant: ChaseVariant) -> ChaseMachine<'_> {
+        ChaseMachine::new(
+            p,
+            ChaseConfig::of(variant).with_derivation(),
+            Instance::from_atoms(p.facts().iter().cloned()),
+        )
+    }
+
+    fn scratch_canonical(p: &Program, variant: ChaseVariant) -> Vec<String> {
+        let mut m = machine(p, variant);
+        assert!(m.run(&Budget::unlimited()).is_saturated());
+        canonical_form(m.instance(), m.derivation())
+    }
+
+    const DATALOG: &str = "\
+        p(X) -> q(X).\n\
+        q(X) -> r(X).\n\
+        p(a). p(b). q(a).\n";
+
+    #[test]
+    fn retraction_requires_derivation_tracking() {
+        let mut p = Program::parse(DATALOG).unwrap();
+        let edits = parse_edit_script("retract p(a).", &mut p).unwrap();
+        let mut m = ChaseMachine::new(
+            &p,
+            ChaseConfig::of(ChaseVariant::SemiOblivious),
+            Instance::from_atoms(p.facts().iter().cloned()),
+        );
+        assert_eq!(
+            m.apply_edits(&edits, &Budget::unlimited()),
+            Err(UpdateError::DerivationRequired)
+        );
+    }
+
+    #[test]
+    fn retract_matches_from_scratch_chase() {
+        for variant in [ChaseVariant::Oblivious, ChaseVariant::SemiOblivious] {
+            let mut p = Program::parse(DATALOG).unwrap();
+            let edits = parse_edit_script("retract p(b).", &mut p).unwrap();
+            let mut m = machine(&p, variant);
+            assert!(m.run(&Budget::unlimited()).is_saturated());
+            let report = m.apply_edits(&edits, &Budget::unlimited()).unwrap();
+            assert!(report.outcome.is_saturated());
+            assert_eq!(report.retracts, 1);
+            check_support(m.instance(), m.derivation()).unwrap();
+            let reference = scratch_canonical(&edited_program(&p, &edits), variant);
+            assert_eq!(canonical_form(m.instance(), m.derivation()), reference);
+        }
+    }
+
+    #[test]
+    fn rederivable_base_fact_survives_as_derived() {
+        // q(a) is base AND derivable from p(a); retracting the base
+        // assertion must keep the content alive (DRed re-derivation) and
+        // keep its consumers (r(a)) alive with it.
+        let mut p = Program::parse(DATALOG).unwrap();
+        let edits = parse_edit_script("retract q(a).", &mut p).unwrap();
+        let mut m = machine(&p, ChaseVariant::SemiOblivious);
+        assert!(m.run(&Budget::unlimited()).is_saturated());
+        let report = m.apply_edits(&edits, &Budget::unlimited()).unwrap();
+        assert!(report.restored_atoms >= 1, "q(a) must be restored: {report:?}");
+        let q_a = p.facts()[2].clone(); // q(a) from the original text
+        assert!(m.instance().contains(&q_a));
+        assert!(
+            m.instance().id_of(&q_a).map(|id| m.derivation().creator_of(id).is_some())
+                == Some(true),
+            "restored q(a) must be derived, not base"
+        );
+        check_support(m.instance(), m.derivation()).unwrap();
+        let reference =
+            scratch_canonical(&edited_program(&p, &edits), ChaseVariant::SemiOblivious);
+        assert_eq!(canonical_form(m.instance(), m.derivation()), reference);
+    }
+
+    #[test]
+    fn retracting_a_derived_atom_is_an_error() {
+        let mut p = Program::parse("p(X) -> q(X).\np(a).\n").unwrap();
+        let edits = parse_edit_script("retract q(a).", &mut p).unwrap();
+        let mut m = machine(&p, ChaseVariant::SemiOblivious);
+        assert!(m.run(&Budget::unlimited()).is_saturated());
+        assert!(matches!(
+            m.apply_edits(&edits, &Budget::unlimited()),
+            Err(UpdateError::NotABaseFact(_))
+        ));
+    }
+
+    #[test]
+    fn existential_cone_is_deleted_and_nulls_reused_elsewhere() {
+        // Example 1 of the paper: retracting person(b) kills only b's
+        // father chain; a's chain keeps its original nulls.
+        let text = "person(X) -> hasFather(X, Y), person(Y).\nperson(a). person(b).\n";
+        for variant in [ChaseVariant::Oblivious, ChaseVariant::SemiOblivious] {
+            let mut p = Program::parse(text).unwrap();
+            let edits = parse_edit_script("retract person(b).", &mut p).unwrap();
+            let mut m = machine(&p, variant);
+            let _ = m.run(&Budget::applications(12));
+            let report = m.apply_edits(&edits, &Budget::applications(12)).unwrap();
+            assert!(report.overdeleted >= 1);
+            assert!(report.invalidated_apps >= 1);
+            check_support(m.instance(), m.derivation()).unwrap();
+            // The survivors are exactly a's chain: a from-scratch run on the
+            // edited base reaches the same state after that many firings
+            // (budgets are cumulative, so the updated machine applied
+            // nothing new — its 12 are spent).
+            let ep = edited_program(&p, &edits);
+            let mut reference = machine(&ep, variant);
+            let _ = reference.run(&Budget::applications(12 - report.invalidated_apps as u64));
+            assert_eq!(
+                canonical_form(m.instance(), m.derivation()),
+                canonical_form(reference.instance(), reference.derivation()),
+            );
+        }
+    }
+
+    #[test]
+    fn restricted_reopens_skips_whose_witness_died() {
+        // Both rules want e(a, _). Whichever fires first satisfies the
+        // other, which is skipped. Retracting the fired rule's base fact
+        // deletes the witness; the skip must re-open and fire.
+        let text = "p(X) -> e(X, Y).\nh(X) -> e(X, Y).\np(a). h(a).\n";
+        let mut p = Program::parse(text).unwrap();
+        let edits = parse_edit_script("retract p(a).", &mut p).unwrap();
+        let mut m = machine(&p, ChaseVariant::Restricted);
+        assert!(m.run(&Budget::unlimited()).is_saturated());
+        assert_eq!(m.stats().satisfied_skips, 1);
+        let report = m.apply_edits(&edits, &Budget::unlimited()).unwrap();
+        assert!(report.outcome.is_saturated());
+        assert_eq!(report.reopened_skips, 1);
+        assert!(is_model(&p, m.instance()), "h-rule must be satisfied again");
+        check_support(m.instance(), m.derivation()).unwrap();
+    }
+
+    #[test]
+    fn interleaved_script_matches_from_scratch() {
+        let mut p = Program::parse(DATALOG).unwrap();
+        let script = "% refresh the b column\nretract p(b).\nadd p(c).\nadd q(b).\nretract p(a).\n";
+        let edits = parse_edit_script(script, &mut p).unwrap();
+        for variant in [ChaseVariant::Oblivious, ChaseVariant::SemiOblivious] {
+            let mut m = machine(&p, variant);
+            assert!(m.run(&Budget::unlimited()).is_saturated());
+            let report = m.apply_edits(&edits, &Budget::unlimited()).unwrap();
+            assert!(report.outcome.is_saturated());
+            assert_eq!(report.adds, 2);
+            assert_eq!(report.retracts, 2);
+            check_support(m.instance(), m.derivation()).unwrap();
+            let reference = scratch_canonical(&edited_program(&p, &edits), variant);
+            assert_eq!(canonical_form(m.instance(), m.derivation()), reference);
+        }
+    }
+
+    #[test]
+    fn edit_script_parse_errors_carry_line_numbers() {
+        let mut p = Program::parse(DATALOG).unwrap();
+        let err = parse_edit_script("add p(a).\ndrop p(b).", &mut p).unwrap_err();
+        assert!(matches!(err, UpdateError::Script { line: 2, .. }), "{err}");
+        let err = parse_edit_script("add p(a, b).", &mut p).unwrap_err();
+        assert!(matches!(err, UpdateError::Script { line: 1, .. }), "{err}");
+        // New predicates and constants are interned on the fly.
+        let edits = parse_edit_script("add fresh(z).", &mut p).unwrap();
+        assert_eq!(edits.len(), 1);
+        assert!(p.vocab.pred("fresh").is_some());
+    }
+
+    #[test]
+    fn update_after_budget_stop_repairs_the_queue() {
+        // Stop mid-run with pending triggers, retract, then finish: the
+        // final state must match the from-scratch chase of the edited base.
+        let mut p = Program::parse(DATALOG).unwrap();
+        let edits = parse_edit_script("retract p(a).", &mut p).unwrap();
+        let mut m = machine(&p, ChaseVariant::SemiOblivious);
+        let _ = m.run(&Budget::applications(1));
+        let report = m.apply_edits(&edits, &Budget::unlimited()).unwrap();
+        assert!(report.outcome.is_saturated());
+        check_support(m.instance(), m.derivation()).unwrap();
+        let reference = scratch_canonical(&edited_program(&p, &edits), ChaseVariant::SemiOblivious);
+        assert_eq!(canonical_form(m.instance(), m.derivation()), reference);
+    }
+
+    #[test]
+    fn canonical_form_is_order_independent() {
+        let text = "person(X) -> hasFather(X, Y), person(Y).\nperson(a). person(b).\n";
+        let p = Program::parse(text).unwrap();
+        let canon = |seed: u64| {
+            let mut m = ChaseMachine::new(
+                &p,
+                ChaseConfig::of(ChaseVariant::Oblivious)
+                    .with_random_scheduling(seed)
+                    .with_derivation(),
+                Instance::from_atoms(p.facts().iter().cloned()),
+            );
+            let _ = m.run(&Budget::applications(20));
+            canonical_form(m.instance(), m.derivation())
+        };
+        // Null numbering depends on trigger order, so the canonical form of
+        // a *saturated* run must be schedule-invariant; non-saturated runs
+        // only get a rendering smoke check.
+        let p2 = Program::parse(DATALOG).unwrap();
+        let canon2 = |seed: u64| {
+            let mut m = ChaseMachine::new(
+                &p2,
+                ChaseConfig::of(ChaseVariant::Oblivious)
+                    .with_random_scheduling(seed)
+                    .with_derivation(),
+                Instance::from_atoms(p2.facts().iter().cloned()),
+            );
+            assert!(m.run(&Budget::unlimited()).is_saturated());
+            canonical_form(m.instance(), m.derivation())
+        };
+        assert_eq!(canon2(7), canon2(1234));
+        assert!(canon(7).iter().any(|a| a.contains("s0.0(")));
+    }
+}

@@ -30,6 +30,7 @@ pub mod derivation;
 pub mod dot;
 pub mod failpoint;
 pub mod guard;
+pub mod incremental;
 pub mod journal;
 pub mod metrics;
 pub(crate) mod pool;
@@ -45,6 +46,10 @@ pub use chase::{
 };
 pub use checkpoint::{Checkpoint, CheckpointError};
 pub use guard::{Budget, CancelToken, StopReason};
+pub use incremental::{
+    canonical_form, check_support, edited_program, parse_edit_script, Edit, RetractOutcome,
+    UpdateError, UpdateReport,
+};
 pub use journal::{
     needs_recovery, recover, write_snapshot_atomic, JournalWriter, RecoveryReport,
 };

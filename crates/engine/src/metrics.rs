@@ -228,6 +228,19 @@ impl MetricsRegistry {
             TraceEvent::GuardTrip { reason } => {
                 self.inc(&format!("guard.trips.{}", reason.keyword()), 1);
             }
+            TraceEvent::Retract { atoms, apps } => {
+                self.inc("update.retractions", 1);
+                self.inc("update.overdeleted_atoms", *atoms as u64);
+                self.inc("update.invalidated_apps", *apps as u64);
+            }
+            TraceEvent::Rederive { apps, atoms } => {
+                self.inc("update.rederived_apps", *apps as u64);
+                self.inc("update.restored_atoms", *atoms as u64);
+            }
+            TraceEvent::EditApply { adds, retracts } => {
+                self.inc("update.edits.adds", *adds as u64);
+                self.inc("update.edits.retracts", *retracts as u64);
+            }
         }
     }
 

@@ -258,7 +258,11 @@ impl ChaseMachine<'_> {
                         });
                     }
                     if !event.new_atoms.is_empty() {
-                        batches.push((event.new_atoms, self.instance.len()));
+                        // Horizons are *id* bounds for prefix views, so
+                        // they live in slab space: after an incremental
+                        // update has tombstoned atoms, the live count
+                        // undershoots the id high-water mark.
+                        batches.push((event.new_atoms, self.instance.slab_len()));
                     }
                     break;
                 }

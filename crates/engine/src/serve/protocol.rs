@@ -10,6 +10,7 @@
 //!
 //! ```text
 //! {"op":"submit","program":"p(a). p(X) -> p(Y).","variant":"so","steps":500}
+//! {"op":"update","job":"job-3","script":"retract p(a).\nadd p(b)."}
 //! {"op":"status","job":"job-3"}
 //! {"op":"wait","job":"job-3"}
 //! {"op":"cancel","job":"job-3"}
@@ -341,6 +342,21 @@ pub enum Request {
         /// Bypass the result cache (benchmarks and tests).
         fresh: bool,
     },
+    /// Derive a new job from an existing one by applying an edit script
+    /// (`add <atom>.` / `retract <atom>.` lines) to its base facts. The
+    /// edited program is admitted as a fresh job — the server re-chases it
+    /// from scratch (derivation DAGs are not durable), so the result is
+    /// the canonical Mode-2 rebuild of the incremental-update model.
+    Update {
+        /// The job whose program the edits apply to.
+        job: String,
+        /// The edit script, in the CLI `--edits` file format.
+        script: String,
+        /// Budget/variant overrides for the derived job.
+        overrides: SubmitOverrides,
+        /// Stream trace events for the derived job to this connection.
+        stream: bool,
+    },
     /// Report a job's current state.
     Status {
         /// The job id the server assigned at submit.
@@ -438,6 +454,33 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 fresh: take_flag(&fields, "fresh")?,
             })
         }
+        "update" => {
+            check_schema(
+                &fields,
+                "update",
+                &["job", "script", "variant", "steps", "timeout_ms", "max_atoms", "max_memory",
+                  "stream"],
+            )?;
+            let job = take_str(&fields, "job")?.ok_or("op `update` requires a `job` field")?;
+            let script =
+                take_str(&fields, "script")?.ok_or("op `update` requires a `script` field")?;
+            let variant = match take_str(&fields, "variant")? {
+                None => None,
+                Some(raw) => Some(parse_variant_token(&raw)?),
+            };
+            Ok(Request::Update {
+                job,
+                script,
+                overrides: SubmitOverrides {
+                    variant,
+                    steps: take_num(&fields, "steps")?,
+                    timeout_ms: take_num(&fields, "timeout_ms")?,
+                    max_atoms: take_num(&fields, "max_atoms")?,
+                    max_memory: take_num(&fields, "max_memory")?,
+                },
+                stream: take_flag(&fields, "stream")?,
+            })
+        }
         "status" => Ok(Request::Status { job: required_job(&fields, "status")? }),
         "wait" => Ok(Request::Wait { job: required_job(&fields, "wait")? }),
         "cancel" => Ok(Request::Cancel { job: required_job(&fields, "cancel")? }),
@@ -450,7 +493,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             Ok(Request::Shutdown)
         }
         other => Err(format!(
-            "unknown op `{other}` (expected submit, status, wait, cancel, stats, shutdown)"
+            "unknown op `{other}` (expected submit, update, status, wait, cancel, stats, shutdown)"
         )),
     }
 }
@@ -593,6 +636,19 @@ mod tests {
             parse_request(r#"{"op":"cancel","job":"job-3"}"#).unwrap(),
             Request::Cancel { job: "job-3".into() }
         );
+        match parse_request(
+            r#"{"op":"update","job":"job-1","script":"retract p(a).\nadd q(b).","steps":9}"#,
+        )
+        .unwrap()
+        {
+            Request::Update { job, script, overrides, stream } => {
+                assert_eq!(job, "job-1");
+                assert_eq!(script, "retract p(a).\nadd q(b).");
+                assert_eq!(overrides.steps, Some(9));
+                assert!(!stream);
+            }
+            other => panic!("{other:?}"),
+        }
         assert_eq!(parse_request(r#"{"op":"stats"}"#).unwrap(), Request::Stats);
         for (line, needle) in [
             (r#"{"op":"submit"}"#, "program"),
@@ -601,6 +657,9 @@ mod tests {
             (r#"{"op":"submit","program":"p(a).","stream":2}"#, "0 or 1"),
             (r#"{"op":"submit","program":"p(a).","variant":"zz"}"#, "zz"),
             (r#"{"op":"status"}"#, "job"),
+            (r#"{"op":"update","job":"job-1"}"#, "script"),
+            (r#"{"op":"update","script":"add p(a)."}"#, "job"),
+            (r#"{"op":"update","job":"job-1","script":"add p(a).","fresh":1}"#, "unknown field"),
             (r#"{"op":"stats","job":"j"}"#, "unknown field"),
             (r#"{"op":"levitate"}"#, "unknown op"),
             (r#"{"no_op":1}"#, "no `op`"),

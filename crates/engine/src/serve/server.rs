@@ -32,9 +32,11 @@ use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::Duration;
 
+use chasekit_core::display::program_to_string;
 use chasekit_core::Program;
 
 use crate::checkpoint::program_fingerprint;
+use crate::incremental::{edited_program, parse_edit_script};
 use crate::failpoint::{self, points};
 use crate::serve::protocol::{
     self, error_response, parse_request, read_line_capped, ReadLine, Request, SubmitOverrides,
@@ -73,6 +75,13 @@ pub struct ServeConfig {
     pub terminal_retention: usize,
     /// Result-cache capacity (entries; oldest evicted first).
     pub cache_capacity: usize,
+    /// On-disk retention of completed job directories: after each job
+    /// completes (and once at startup), the oldest completed directories
+    /// beyond this count are deleted. The sequence floor file keeps job
+    /// ids from ever being reused; `status` on a compacted-away job
+    /// answers `unknown-job` once its in-memory entry is also evicted.
+    /// `None` keeps everything (the default).
+    pub keep_completed: Option<usize>,
 }
 
 impl ServeConfig {
@@ -89,6 +98,7 @@ impl ServeConfig {
             max_connections: 64,
             terminal_retention: 1024,
             cache_capacity: 1024,
+            keep_completed: None,
         }
     }
 }
@@ -283,6 +293,17 @@ pub fn serve(config: ServeConfig) -> std::io::Result<ServerHandle> {
         if result.outcome == StopReason::Saturated.keyword() {
             cache.insert((result.fingerprint, result.variant.clone()), result.clone());
         }
+    }
+
+    // Startup compaction, after the cache is primed from the directories
+    // about to be reclaimed. In-flight jobs are untouched by construction.
+    if let Some(keep) = config.keep_completed {
+        store.compact(keep, scan.next_seq).map_err(|e| {
+            std::io::Error::other(format!(
+                "cannot compact job store {}: {e}",
+                config.store.display()
+            ))
+        })?;
     }
 
     let mut jobs = HashMap::new();
@@ -488,6 +509,18 @@ fn execute_job(
         lock(&shared.cache)
             .insert((fingerprint, result.variant.clone()), result.clone());
     }
+
+    // Bounded on-disk retention. Under the admission lock so the floor
+    // file never races a concurrent sequence allocation; the job that
+    // just finished is the newest completed directory, so it survives
+    // any retention of at least one.
+    if let Some(keep) = shared.config.keep_completed {
+        let _admit = lock(&shared.admission);
+        let floor = shared.next_seq.load(Ordering::Relaxed);
+        if let Err(e) = shared.store.compact(keep, floor) {
+            eprintln!("chasekit serve: compaction failed (continuing): {e}");
+        }
+    }
     Ok(Some(result))
 }
 
@@ -574,6 +607,9 @@ fn handle_connection(shared: &Arc<Shared>, mut stream: TcpStream) {
         let keep_going = match request {
             Request::Submit { program, overrides, stream: want_stream, fresh } => {
                 handle_submit(shared, &mut stream, &program, &overrides, want_stream, fresh)
+            }
+            Request::Update { job, script, overrides, stream: want_stream } => {
+                handle_update(shared, &mut stream, &job, &script, &overrides, want_stream)
             }
             Request::Status { job } => {
                 let resp = job_response(shared, &job);
@@ -741,6 +777,59 @@ fn handle_submit(
             }
         }
     }
+}
+
+/// Derives a new job from an existing one: loads the referenced job's
+/// program text from the store, applies the edit script to its base facts
+/// ([`parse_edit_script`] + [`edited_program`]), and admits the edited
+/// program through the ordinary submission path — same admission cap,
+/// same durability, same result cache. The derived job re-chases from
+/// scratch: derivation DAGs are not persisted, so the in-place DRed
+/// repair cannot outlive the process, and the from-scratch chase of the
+/// edited program is the canonical state every repair is checked against
+/// anyway (see `incremental`).
+fn handle_update(
+    shared: &Arc<Shared>,
+    stream: &mut TcpStream,
+    job: &str,
+    script: &str,
+    overrides: &SubmitOverrides,
+    want_stream: bool,
+) -> bool {
+    if !is_job_id(job) {
+        let resp = protocol::response(
+            false,
+            &[("error", Value::Str("unknown-job".into())), ("job", Value::Str(job.into()))],
+        );
+        return send_line(stream, &resp).is_ok();
+    }
+    let stored = match shared.store.load_job(job) {
+        Ok(s) => s,
+        Err(_) => {
+            let resp = protocol::response(
+                false,
+                &[("error", Value::Str("unknown-job".into())), ("job", Value::Str(job.into()))],
+            );
+            return send_line(stream, &resp).is_ok();
+        }
+    };
+    let mut program = match Program::parse(&stored.program_text) {
+        Ok(p) => p,
+        Err(e) => {
+            let resp =
+                error_response("parse", &format!("stored program no longer parses: {e}"));
+            return send_line(stream, &resp).is_ok();
+        }
+    };
+    let edits = match parse_edit_script(script, &mut program) {
+        Ok(e) => e,
+        Err(e) => {
+            return send_line(stream, &error_response("edit-script", &e.to_string())).is_ok();
+        }
+    };
+    let edited = edited_program(&program, &edits);
+    let edited_text = program_to_string(&edited);
+    handle_submit(shared, stream, &edited_text, overrides, want_stream, false)
 }
 
 /// Removes a job directory that failed before acknowledgement; best

@@ -35,6 +35,9 @@ use crate::StopReason;
 pub const META_MAGIC: &str = "chasekit-job v1";
 /// Magic first line of the `result` file.
 pub const RESULT_MAGIC: &str = "chasekit-result v1";
+/// Magic first line of the sequence high-water file compaction leaves
+/// behind (`next-seq` at the store root).
+pub const SEQ_MAGIC: &str = "chasekit-seq v1";
 
 /// A terminal job outcome, as persisted in the `result` file.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -251,12 +254,75 @@ impl JobStore {
         }
     }
 
+    fn seq_floor_path(&self) -> PathBuf {
+        self.root.join("next-seq")
+    }
+
+    /// Persists a floor for the job sequence number, atomically. Written
+    /// *before* compaction deletes any directory, so job ids are never
+    /// reused even when every `job-<n>` directory is gone — a reused id
+    /// could alias a client's memory of an old job.
+    pub fn write_seq_floor(&self, next_seq: u64) -> io::Result<()> {
+        write_snapshot_atomic(&self.seq_floor_path(), &format!("{SEQ_MAGIC}\nnext {next_seq}\n"))
+    }
+
+    fn read_seq_floor(&self) -> io::Result<u64> {
+        let text = match std::fs::read_to_string(self.seq_floor_path()) {
+            Ok(t) => t,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(0),
+            Err(e) => return Err(e),
+        };
+        // The file is published atomically, so a malformed one is outside
+        // interference; refusing to guess keeps ids from ever aliasing.
+        let mut lines = text.lines();
+        if lines.next() != Some(SEQ_MAGIC) {
+            return Err(io::Error::other(format!(
+                "{}: expected `{SEQ_MAGIC}` on line 1",
+                self.seq_floor_path().display()
+            )));
+        }
+        lines
+            .next()
+            .and_then(|l| l.strip_prefix("next "))
+            .and_then(|n| n.parse::<u64>().ok())
+            .ok_or_else(|| {
+                io::Error::other(format!(
+                    "{}: expected `next <seq>` on line 2",
+                    self.seq_floor_path().display()
+                ))
+            })
+    }
+
+    /// Deletes the oldest *completed* job directories beyond `keep`,
+    /// returning the ids removed. The sequence floor is persisted first,
+    /// so a crash mid-compaction can lose directories but never a
+    /// sequence number. In-flight and discarded directories are never
+    /// touched — compaction only reclaims what the result marker proves
+    /// finished.
+    pub fn compact(&self, keep: usize, next_seq_floor: u64) -> io::Result<Vec<String>> {
+        let scan = self.scan()?;
+        if scan.completed.len() <= keep {
+            return Ok(Vec::new());
+        }
+        self.write_seq_floor(next_seq_floor.max(scan.next_seq))?;
+        let doomed = scan.completed.len() - keep;
+        let mut deleted = Vec::with_capacity(doomed);
+        // `scan.completed` is already in ascending sequence order.
+        for (id, _) in scan.completed.into_iter().take(doomed) {
+            std::fs::remove_dir_all(self.job_dir(&id))?;
+            deleted.push(id);
+        }
+        Ok(deleted)
+    }
+
     /// The restart scan: classifies every `job-<n>` directory as
     /// in-flight, completed, or discarded, and computes the next free
-    /// sequence number. Deterministic order (by sequence number), so
+    /// sequence number (never below the persisted floor, so compacted-away
+    /// ids are not reused). Deterministic order (by sequence number), so
     /// recovered jobs re-enter the queue in admission order.
     pub fn scan(&self) -> io::Result<ScanReport> {
-        let mut report = ScanReport::default();
+        let mut report =
+            ScanReport { next_seq: self.read_seq_floor()?, ..ScanReport::default() };
         let mut seqs: Vec<(u64, String)> = Vec::new();
         for entry in std::fs::read_dir(&self.root)? {
             let entry = entry?;
@@ -357,6 +423,52 @@ mod tests {
         assert_eq!(scan.completed, vec![("job-2".to_string(), result)]);
         assert_eq!(scan.discarded, vec!["job-5".to_string()]);
         assert_eq!(scan.next_seq, 6);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn compaction_keeps_newest_completed_and_never_reuses_sequence_numbers() {
+        let root = scratch("compact");
+        let store = JobStore::open(&root).unwrap();
+        let result = |seq: u64| JobResult {
+            outcome: "saturated".into(),
+            applications: seq,
+            atoms: 1,
+            nulls: 0,
+            fingerprint: seq,
+            variant: "oblivious".into(),
+        };
+        for seq in 0..5 {
+            let id = format!("job-{seq}");
+            store.create_job(&id, "p(a).", &spec()).unwrap();
+            store.write_result(&id, &result(seq)).unwrap();
+        }
+        // job-5 is in flight: compaction must not touch it.
+        store.create_job("job-5", "q(a). q(X) -> q(Y).", &spec()).unwrap();
+
+        let deleted = store.compact(2, 6).unwrap();
+        assert_eq!(deleted, vec!["job-0", "job-1", "job-2"]);
+        let scan = store.scan().unwrap();
+        assert_eq!(
+            scan.completed.iter().map(|(id, _)| id.as_str()).collect::<Vec<_>>(),
+            vec!["job-3", "job-4"]
+        );
+        assert_eq!(scan.in_flight.len(), 1);
+        assert_eq!(scan.in_flight[0].id, "job-5");
+        assert_eq!(scan.next_seq, 6);
+
+        // Below the cap: a no-op.
+        assert!(store.compact(2, 6).unwrap().is_empty());
+
+        // Even with every directory gone, the floor pins the sequence.
+        let deleted = store.compact(0, 6).unwrap();
+        assert_eq!(deleted, vec!["job-3", "job-4"]);
+        std::fs::remove_dir_all(store.job_dir("job-5")).unwrap();
+        assert_eq!(store.scan().unwrap().next_seq, 6);
+
+        // A corrupt floor file refuses to guess rather than alias ids.
+        std::fs::write(root.join("next-seq"), "garbage").unwrap();
+        assert!(store.scan().is_err());
         std::fs::remove_dir_all(&root).unwrap();
     }
 }

@@ -116,6 +116,29 @@ pub enum TraceEvent {
         /// Pending triggers restored.
         pending: usize,
     },
+    /// Lifecycle: an incremental update retracted a base fact and
+    /// overdeleted its derivation cone.
+    Retract {
+        /// Atoms deleted (the base fact plus its cone).
+        atoms: usize,
+        /// Applications invalidated (their matches touched the cone).
+        apps: usize,
+    },
+    /// Lifecycle: the delete-and-rederive pass restored cone members that
+    /// still have live support.
+    Rederive {
+        /// Applications re-fired from surviving support.
+        apps: usize,
+        /// Atoms the re-fired applications restored.
+        atoms: usize,
+    },
+    /// Lifecycle: an edit script was applied to the machine.
+    EditApply {
+        /// `add` edits applied.
+        adds: usize,
+        /// `retract` edits applied.
+        retracts: usize,
+    },
     /// Execution: a parallel round opened over the pending frontier.
     RoundOpen {
         /// Round number (1-based).
@@ -304,6 +327,15 @@ impl<W: Write + Send> TraceSink for JsonlSink<W> {
                 "{{\"seq\":{seq},\"ev\":\"ckpt-resume\",\"apps\":{applications},\
                  \"atoms\":{atoms},\"pending\":{pending}}}"
             ),
+            TraceEvent::Retract { atoms, apps } => format!(
+                "{{\"seq\":{seq},\"ev\":\"retract\",\"atoms\":{atoms},\"apps\":{apps}}}"
+            ),
+            TraceEvent::Rederive { apps, atoms } => format!(
+                "{{\"seq\":{seq},\"ev\":\"rederive\",\"apps\":{apps},\"atoms\":{atoms}}}"
+            ),
+            TraceEvent::EditApply { adds, retracts } => format!(
+                "{{\"seq\":{seq},\"ev\":\"edit\",\"adds\":{adds},\"retracts\":{retracts}}}"
+            ),
             TraceEvent::RoundOpen { round, frontier } => format!(
                 "{{\"seq\":{seq},\"ev\":\"round-open\",\"round\":{round},\
                  \"frontier\":{frontier}}}"
@@ -436,6 +468,9 @@ const SCHEMA: &[(&str, &[(&str, bool)])] = &[
     ("stop", &[("reason", true), ("apps", false), ("atoms", false)]),
     ("ckpt-write", &[("apps", false), ("atoms", false), ("pending", false)]),
     ("ckpt-resume", &[("apps", false), ("atoms", false), ("pending", false)]),
+    ("retract", &[("atoms", false), ("apps", false)]),
+    ("rederive", &[("apps", false), ("atoms", false)]),
+    ("edit", &[("adds", false), ("retracts", false)]),
     ("round-open", &[("round", false), ("frontier", false)]),
     ("round-close", &[("round", false), ("items", false), ("workers", false)]),
     ("guard", &[("reason", true)]),
@@ -593,6 +628,9 @@ mod tests {
             r#"{"seq":9,"ev":"stop","reason":"applications","apps":12,"atoms":25}"#,
             r#"{"seq":9,"ev":"ckpt-write","apps":12,"atoms":25,"pending":3}"#,
             r#"{"seq":0,"ev":"ckpt-resume","apps":12,"atoms":25,"pending":3}"#,
+            r#"{"seq":4,"ev":"retract","atoms":3,"apps":2}"#,
+            r#"{"seq":4,"ev":"rederive","apps":1,"atoms":2}"#,
+            r#"{"seq":7,"ev":"edit","adds":2,"retracts":1}"#,
             r#"{"seq":2,"ev":"round-open","round":1,"frontier":4}"#,
             r#"{"seq":8,"ev":"round-close","round":1,"items":6,"workers":4}"#,
             r#"{"seq":9,"ev":"guard","reason":"wall-clock"}"#,

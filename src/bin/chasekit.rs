@@ -46,6 +46,7 @@ use chasekit::engine::{
 use chasekit::prelude::*;
 
 const USAGE: &str = "usage: chasekit <classify|conditions|decide|explain|chase|critical> <rules-file> [options]
+       chasekit update <rules-file> --edits SCRIPT [options]
        chasekit serve --store DIR [options]
 options:
   --variant o|so|restricted   chase variant (default: so)
@@ -81,8 +82,17 @@ options:
   --journal-flush-every N     (chase/serve) journal group-commit: batch N
                               records per write (default 1 = write-per-
                               record); chase requires --journal
+  --edits FILE                (update) edit script: one `add <atom>.` or
+                              `retract <atom>.` per line, `%` comments.
+                              The chase runs to the --steps budget, the
+                              script is applied incrementally (DRed
+                              retraction over the derivation DAG), and a
+                              completion chase gets --steps more
   --store DIR                 (serve) job-store root; in-flight jobs found
                               there at startup are recovered and completed
+  --keep-completed N          (serve) store compaction: retain at most N
+                              completed job directories, oldest removed
+                              first (default: keep everything)
   --addr HOST:PORT            (serve) bind address (default 127.0.0.1:0,
                               an ephemeral port, printed at startup)
   --workers N                 (serve) worker threads running jobs
@@ -123,12 +133,15 @@ struct Args {
     addr: String,
     workers: usize,
     queue: usize,
+    edits: Option<String>,
+    keep_completed: Option<usize>,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut argv = std::env::args().skip(1);
     let command = argv.next().ok_or("missing <command> argument")?;
-    let known = ["classify", "conditions", "decide", "explain", "chase", "critical", "serve"];
+    let known =
+        ["classify", "conditions", "decide", "explain", "chase", "critical", "serve", "update"];
     if !known.contains(&command.as_str()) {
         return Err(format!(
             "unknown command `{command}` (expected one of: {})",
@@ -164,6 +177,8 @@ fn parse_args() -> Result<Args, String> {
         addr: "127.0.0.1:0".to_string(),
         workers: 2,
         queue: 16,
+        edits: None,
+        keep_completed: None,
     };
     // The host's available parallelism, for `--threads 0` / `--workers 0`.
     fn detected_parallelism() -> usize {
@@ -240,6 +255,16 @@ fn parse_args() -> Result<Args, String> {
                 }
                 out.flush_every = every;
             }
+            "--edits" => out.edits = Some(value(&mut argv, "--edits")?),
+            "--keep-completed" => {
+                let n: usize = number(&mut argv, "--keep-completed")?;
+                if n == 0 {
+                    return Err(
+                        "`--keep-completed` expects a positive integer, got `0`".to_string()
+                    );
+                }
+                out.keep_completed = Some(n);
+            }
             "--store" => out.store = Some(value(&mut argv, "--store")?),
             "--addr" => out.addr = value(&mut argv, "--addr")?,
             "--workers" => {
@@ -283,6 +308,21 @@ fn parse_args() -> Result<Args, String> {
     }
     if out.recover && (out.checkpoint.is_none() || out.journal.is_none()) {
         return Err("`--recover` requires both `--checkpoint` and `--journal`".to_string());
+    }
+    if out.command == "update" && out.edits.is_none() {
+        return Err("`update` requires `--edits FILE` (the edit script)".to_string());
+    }
+    if out.command != "update" && out.edits.is_some() {
+        return Err("`--edits` is only valid with `update`".to_string());
+    }
+    if out.command == "update" && (out.checkpoint.is_some() || out.journal.is_some()) {
+        return Err("`update` cannot be combined with `--checkpoint`/`--journal`: \
+             derivation-tracked machines are not serializable (re-run the edited \
+             program with `chase` for a durable artifact)"
+            .to_string());
+    }
+    if out.command != "serve" && out.keep_completed.is_some() {
+        return Err("`--keep-completed` is only valid with `serve`".to_string());
     }
     Ok(out)
 }
@@ -405,6 +445,7 @@ fn run_serve(args: &Args) -> ExitCode {
     config.addr = args.addr.clone();
     config.workers = args.workers;
     config.queue_capacity = args.queue;
+    config.keep_completed = args.keep_completed;
     config.defaults = JobSpec {
         variant: args.variant,
         steps: args.steps,
@@ -831,6 +872,140 @@ fn main() -> ExitCode {
 
             print!("{}", instance_to_string(machine.instance(), &program.vocab));
             match outcome {
+                StopReason::Saturated => ExitCode::SUCCESS,
+                StopReason::Applications => ExitCode::from(10),
+                StopReason::Atoms => ExitCode::from(11),
+                StopReason::WallClock => ExitCode::from(12),
+                StopReason::Memory => ExitCode::from(13),
+                StopReason::Cancelled => ExitCode::from(14),
+                StopReason::Io => ExitCode::from(15),
+            }
+        }
+        "update" => {
+            use chasekit::engine::{parse_edit_script, ChaseConfig, ChaseMachine};
+            let mut program = program.clone();
+            let script_path = args.edits.as_deref().expect("validated by parse_args");
+            let script = match std::fs::read_to_string(script_path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("cannot read edit script {script_path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            // Parse (and intern new names) before the machine borrows the
+            // program; the whole script is known up front.
+            let edits = match parse_edit_script(&script, &mut program) {
+                Ok(e) => e,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let cfg = ChaseConfig::of(args.variant).with_derivation();
+            let initial = if program.facts().is_empty() {
+                println!("(no facts in file: chasing the critical instance)");
+                CriticalInstance::build(&mut program).instance
+            } else {
+                Instance::from_atoms(program.facts().iter().cloned())
+            };
+            let mut sinks: Vec<Box<dyn TraceSink>> = Vec::new();
+            if let Some(path) = &args.trace {
+                match std::fs::File::create(path) {
+                    Ok(f) => sinks
+                        .push(Box::new(JsonlSink::new(std::io::BufWriter::new(f), &program))),
+                    Err(e) => {
+                        eprintln!("cannot create trace file {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            let mut metrics_file = None;
+            let registry = if let Some(path) = &args.metrics {
+                match std::fs::File::create(path) {
+                    Ok(f) => metrics_file = Some(f),
+                    Err(e) => {
+                        eprintln!("cannot create metrics file {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+                let ms = MetricsSink::new(&program);
+                let reg = ms.registry();
+                sinks.push(Box::new(ms));
+                Some(reg)
+            } else {
+                None
+            };
+            let sink: Option<Box<dyn TraceSink>> = match sinks.len() {
+                0 => None,
+                1 => sinks.pop(),
+                _ => Some(Box::new(MultiSink::new(sinks))),
+            };
+            let mut machine = match sink {
+                Some(sink) => ChaseMachine::new_with_trace(&program, cfg, initial, sink),
+                None => ChaseMachine::new(&program, cfg, initial),
+            };
+            let first = machine.run(&Budget::applications(args.steps));
+            println!(
+                "initial chase: {} after {} applications, {} atoms",
+                first,
+                machine.stats().applications,
+                machine.instance().len()
+            );
+            // Budgets are cumulative over the machine: give the completion
+            // chase its own `--steps` worth of applications.
+            let total = machine.stats().applications.saturating_add(args.steps);
+            let report = match machine.apply_edits(&edits, &Budget::applications(total)) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            println!(
+                "edits: {} adds ({} already present), {} retracts ({} absent)",
+                report.adds, report.duplicate_adds, report.retracts, report.missing_retracts
+            );
+            println!(
+                "repair: {} atoms overdeleted, {} applications invalidated, \
+                 {} re-fired, {} atoms restored, {} skips reopened",
+                report.overdeleted,
+                report.invalidated_apps,
+                report.rederived_apps,
+                report.restored_atoms,
+                report.reopened_skips
+            );
+            println!(
+                "outcome: {} after {} applications, {} atoms (~{} KiB)",
+                report.outcome,
+                machine.stats().applications,
+                machine.instance().len(),
+                machine.approx_memory_bytes() / 1024
+            );
+            if let Some(path) = &args.dot {
+                let dot = chasekit::engine::derivation_to_dot(
+                    machine.instance(),
+                    machine.derivation(),
+                    &program.vocab,
+                );
+                if let Err(e) = std::fs::write(path, dot) {
+                    eprintln!("cannot write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("derivation DAG written to {path}");
+            }
+            machine.flush_trace();
+            if let (Some(path), Some(registry)) = (&args.metrics, &registry) {
+                use std::io::Write as _;
+                let json = registry.lock().expect("metrics registry poisoned").to_json();
+                let mut file = metrics_file.take().expect("metrics file was opened");
+                if let Err(e) = file.write_all(json.as_bytes()) {
+                    eprintln!("cannot write metrics file {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("metrics written to {path}");
+            }
+            print!("{}", instance_to_string(machine.instance(), &program.vocab));
+            match report.outcome {
                 StopReason::Saturated => ExitCode::SUCCESS,
                 StopReason::Applications => ExitCode::from(10),
                 StopReason::Atoms => ExitCode::from(11),

@@ -140,6 +140,87 @@ fn default_traces_are_identical_at_every_thread_count() {
     }
 }
 
+// ---------------------------------------------------------------------------
+// The incremental-update scenario.
+// ---------------------------------------------------------------------------
+
+/// A program where a retraction exercises every update event: the cone of
+/// `p(a)` is overdeleted, `q(a)` is restored (it is also a base fact), and
+/// the added root `p(c)` re-fires the rules.
+const UPDATE_PROGRAM: &str = "p(X) -> q(X). q(X) -> e(X, Y). p(a). p(b). q(a).";
+const UPDATE_SCRIPT: &str = "% swap one root for another\nretract p(a).\nadd p(c).";
+
+/// Runs the update scenario — a derivation-tracked chase to saturation,
+/// then the edit script — returning the trace (empty when untraced) plus
+/// the machine's observable end state: Skolem-canonical instance+DAG
+/// rendering, stats, and the raw DAG debug form.
+fn update_run(variant: ChaseVariant, traced: bool) -> (String, Vec<String>, String, String) {
+    let mut program = Program::parse(UPDATE_PROGRAM).unwrap();
+    let edits = chasekit::engine::parse_edit_script(UPDATE_SCRIPT, &mut program).unwrap();
+    let initial = Instance::from_atoms(program.facts().iter().cloned());
+    let cfg = ChaseConfig::of(variant).with_derivation();
+    let buf = SharedBuf::new();
+    let mut machine = if traced {
+        let sink = JsonlSink::new(buf.clone(), &program);
+        ChaseMachine::new_with_trace(&program, cfg, initial, Box::new(sink))
+    } else {
+        ChaseMachine::new(&program, cfg, initial)
+    };
+    let budget = Budget::applications(100);
+    machine.run(&budget);
+    machine.apply_edits(&edits, &budget).unwrap();
+    machine.flush_trace();
+    let canonical =
+        chasekit::engine::canonical_form(machine.instance(), machine.derivation());
+    let stats = format!("{:?}", machine.stats());
+    let dag = format!("{:?}", machine.derivation());
+    (buf.contents(), canonical, stats, dag)
+}
+
+#[test]
+fn golden_update_traces_are_byte_stable_and_schema_valid() {
+    for (variant, tag) in VARIANTS {
+        let (trace, ..) = update_run(variant, true);
+        let kinds: Vec<&str> = trace
+            .lines()
+            .map(|l| validate_trace_line(l).unwrap_or_else(|e| panic!("{tag}: `{l}`: {e}")))
+            .collect();
+        for kind in ["retract", "rederive", "edit"] {
+            assert!(kinds.contains(&kind), "{tag}: no `{kind}` event in:\n{trace}");
+        }
+        let path = golden_path(&format!("update_{tag}.jsonl"));
+        if std::env::var("UPDATE_GOLDEN").is_ok() {
+            std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+            std::fs::write(&path, &trace).unwrap();
+        }
+        let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "missing golden file {path:?} ({e}); regenerate with \
+                 UPDATE_GOLDEN=1 cargo test --test golden_trace"
+            )
+        });
+        assert_eq!(
+            trace, want,
+            "update trace drift under {variant:?}; if intentional, \
+             regenerate with UPDATE_GOLDEN=1"
+        );
+    }
+}
+
+/// Tracing must be a pure observer: the updated machine's instance, DAG,
+/// and stats are identical with and without a sink attached.
+#[test]
+fn update_run_is_unchanged_by_tracing() {
+    for (variant, tag) in VARIANTS {
+        let (_, canon_t, stats_t, dag_t) = update_run(variant, true);
+        let (trace, canon_u, stats_u, dag_u) = update_run(variant, false);
+        assert!(trace.is_empty());
+        assert_eq!(canon_t, canon_u, "{tag}: instance differs under tracing");
+        assert_eq!(stats_t, stats_u, "{tag}: stats differ under tracing");
+        assert_eq!(dag_t, dag_u, "{tag}: derivation DAG differs under tracing");
+    }
+}
+
 /// Core sequence numbers are dense: line `k`'s `"seq"` field counts the
 /// core events before it, with lifecycle records reusing the current
 /// number. Parses the golden runs rather than trusting the writer.

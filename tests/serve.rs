@@ -483,6 +483,144 @@ fn shutdown_interrupted_jobs_report_interrupted_not_failed() {
     assert!(!dir.join("store").join(&job).join("result").exists());
 }
 
+#[test]
+fn update_derives_a_new_job_from_a_stored_program() {
+    let dir = scratch("update-op");
+    let handle = start(&dir.join("store"), |_| {});
+    let mut c = Client::connect(handle.addr());
+
+    let resp = c.round_trip(&format!(
+        r#"{{"op":"submit","program":{},"fresh":1}}"#,
+        json_str(SATURATING)
+    ));
+    assert!(resp.ok());
+    let base = resp.str("job").unwrap().to_string();
+    let done = c.round_trip(&format!(r#"{{"op":"wait","job":"{base}"}}"#));
+    assert_eq!(done.str("state"), Some("done"));
+    assert_eq!(done.str("outcome"), Some("saturated"));
+
+    // Derive a new job: swap the base fact. The server re-chases the
+    // edited program from scratch under a fresh id.
+    let script = "retract p(a, b).\nadd p(c, d).";
+    let resp = c.round_trip(&format!(
+        r#"{{"op":"update","job":"{base}","script":{}}}"#,
+        json_str(script)
+    ));
+    assert!(resp.ok(), "{:?}", resp.str("detail"));
+    let derived = resp.str("job").unwrap().to_string();
+    assert_ne!(derived, base);
+    let done = c.round_trip(&format!(r#"{{"op":"wait","job":"{derived}"}}"#));
+    assert_eq!(done.str("state"), Some("done"));
+    assert_eq!(done.str("outcome"), Some("saturated"));
+    assert_eq!(done.num("atoms"), Some(2));
+
+    // The derived job's final checkpoint is bit-identical to a solo run
+    // of the edited program — the canonical from-scratch rebuild.
+    let mut program = Program::parse(SATURATING).unwrap();
+    let edits = chasekit::engine::parse_edit_script(script, &mut program).unwrap();
+    let edited = chasekit::engine::edited_program(&program, &edits);
+    let edited_text = chasekit::core::display::program_to_string(&edited);
+    let want = solo_checkpoint(&dir.join("solo"), &edited_text, &JobSpec::server_default());
+    let got = std::fs::read_to_string(
+        dir.join("store").join(&derived).join("final.ckpt"),
+    )
+    .unwrap();
+    assert_eq!(got, want, "derived job diverged from the solo rebuild");
+
+    // Structured failure shapes: unknown job, hostile id, bad script.
+    for id in ["job-999", "../outside"] {
+        let resp = c.round_trip(&format!(
+            r#"{{"op":"update","job":{},"script":"add p(a, b)."}}"#,
+            json_str(id)
+        ));
+        assert!(!resp.ok(), "{id:?}");
+        assert_eq!(resp.str("error"), Some("unknown-job"), "{id:?}");
+    }
+    let resp = c.round_trip(&format!(
+        r#"{{"op":"update","job":"{base}","script":"frobnicate p(a, b)."}}"#
+    ));
+    assert!(!resp.ok());
+    assert_eq!(resp.str("error"), Some("edit-script"));
+    handle.shutdown();
+}
+
+#[test]
+fn recovery_still_works_after_store_compaction() {
+    let dir = scratch("compaction");
+    let store = dir.join("store");
+    let handle = start(&store, |c| {
+        c.workers = 1;
+        c.keep_completed = Some(1);
+    });
+    let mut c = Client::connect(handle.addr());
+
+    // Two quick jobs; once both are done, compaction has reclaimed the
+    // older directory and persisted the sequence floor.
+    let mut finished = Vec::new();
+    for program in [SATURATING, "q(a). q(X) -> r(X)."] {
+        let resp = c.round_trip(&format!(
+            r#"{{"op":"submit","program":{},"fresh":1}}"#,
+            json_str(program)
+        ));
+        assert!(resp.ok());
+        let job = resp.str("job").unwrap().to_string();
+        let done = c.round_trip(&format!(r#"{{"op":"wait","job":"{job}"}}"#));
+        assert_eq!(done.str("state"), Some("done"));
+        finished.push(job);
+    }
+    assert!(!store.join(&finished[0]).exists(), "oldest completed dir is reclaimed");
+    assert!(store.join(&finished[1]).exists());
+    assert!(store.join("next-seq").exists(), "sequence floor is persisted");
+
+    // A long job interrupted by shutdown stays in flight on disk —
+    // compaction must never have touched it.
+    let resp = c.round_trip(&format!(
+        r#"{{"op":"submit","program":{},"steps":4000000000,"fresh":1}}"#,
+        json_str(DIVERGING)
+    ));
+    assert!(resp.ok());
+    let in_flight = resp.str("job").unwrap().to_string();
+    loop {
+        let s = c.round_trip(&format!(r#"{{"op":"status","job":"{in_flight}"}}"#));
+        if s.str("state") == Some("running") {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    handle.shutdown();
+
+    // Restart on the compacted store: the in-flight job recovers under
+    // its original id.
+    let handle = start(&store, |c| {
+        c.workers = 1;
+        c.keep_completed = Some(1);
+    });
+    assert_eq!(handle.recovered_jobs().to_vec(), vec![in_flight.clone()]);
+    let mut c = Client::connect(handle.addr());
+    loop {
+        let s = c.round_trip(&format!(r#"{{"op":"status","job":"{in_flight}"}}"#));
+        if s.str("state") == Some("running") {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let resp = c.round_trip(&format!(r#"{{"op":"cancel","job":"{in_flight}"}}"#));
+    assert!(resp.ok());
+    let done = c.round_trip(&format!(r#"{{"op":"wait","job":"{in_flight}"}}"#));
+    assert_eq!(done.str("state"), Some("done"));
+    assert_eq!(done.str("outcome"), Some("cancelled"));
+
+    // New admissions continue past the floor: a compacted-away job's id
+    // is never handed to a new submission.
+    let resp = c.round_trip(&format!(
+        r#"{{"op":"submit","program":{},"steps":5,"fresh":1}}"#,
+        json_str(DIVERGING)
+    ));
+    assert!(resp.ok());
+    assert_eq!(resp.str("job"), Some("job-3"));
+    handle.shutdown();
+}
+
 // ---------------------------------------------------------------------------
 // Trace streaming.
 // ---------------------------------------------------------------------------
