@@ -13,7 +13,7 @@ use std::io::Write as _;
 
 use chasekit_bench::exp::{
     e0_examples, e1_simple_linear, e2_linear, e3_scaling, e4_guarded, e5_looping, e6_landscape,
-    e7_restricted,
+    e7_restricted, landscape,
 };
 use chasekit_bench::table::Table;
 
@@ -39,7 +39,7 @@ fn parse_args() -> Options {
             }
             "--help" | "-h" => {
                 println!(
-                    "usage: experiments [all|e0|e1|e2|e3|e4|e5|e6|e7]... [--quick] [--csv <dir>]"
+                    "usage: experiments [all|e0|e1|e2|e3|e4|e5|e6|e7|e9]... [--quick] [--csv <dir>]"
                 );
                 std::process::exit(0);
             }
@@ -52,6 +52,7 @@ fn parse_args() -> Options {
     }
     if which.is_empty() || which.iter().any(|w| w == "all") {
         which = (0..=7).map(|i| format!("e{i}")).collect();
+        which.push("e9".to_string());
     }
     Options { which, quick, csv_dir }
 }
@@ -224,6 +225,39 @@ fn main() {
                         ),
                     ],
                 );
+            }
+            "e9" => {
+                let p = if q { landscape::Params::quick() } else { landscape::Params::default() };
+                let result = landscape::run(&p);
+                let json_path =
+                    concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_checker_landscape.json");
+                if let Err(e) = std::fs::write(json_path, &result.json) {
+                    eprintln!("failed to write {json_path}: {e}");
+                    failures.push(format!("e9: could not write {json_path}"));
+                }
+                let o = &result.outcome;
+                let min_programs = if q { 1_000 } else { 1_500 };
+                emit(
+                    &result.tables,
+                    &opts,
+                    &mut failures,
+                    &[
+                        (
+                            o.contradictions.is_empty(),
+                            format!(
+                                "E9: zero checker-vs-chase contradictions ({} found)",
+                                o.contradictions.len()
+                            ),
+                        ),
+                        (
+                            o.programs >= min_programs,
+                            format!("E9: corpus scale ({} programs >= {min_programs})", o.programs),
+                        ),
+                    ],
+                );
+                for c in o.contradictions.iter().take(20) {
+                    eprintln!("e9 contradiction: {c}");
+                }
             }
             other => {
                 eprintln!("unknown experiment {other}");

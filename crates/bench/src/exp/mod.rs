@@ -9,6 +9,7 @@ pub mod e4_guarded;
 pub mod e5_looping;
 pub mod e6_landscape;
 pub mod e7_restricted;
+pub mod landscape;
 
 use std::time::Instant;
 

@@ -556,6 +556,7 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "ground")]
+    #[cfg(debug_assertions)] // the groundness check is a debug_assert!
     fn non_ground_atoms_panic() {
         let mut inst = Instance::new();
         inst.insert(atom(0, vec![Term::Var(crate::ids::VarId(0))]));

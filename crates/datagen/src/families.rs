@@ -4,7 +4,7 @@
 //! whose status is known analytically, used to validate the checkers and to
 //! drive the scaling experiments (E2, E3, E4).
 
-use chasekit_core::{Program, RuleBuilder};
+use chasekit_core::{Program, RuleBuilder, RuleClass};
 
 /// A family member: the program plus its known ground truth.
 #[derive(Debug, Clone)]
@@ -14,18 +14,35 @@ pub struct LabeledProgram {
     /// The rule set.
     pub program: Program,
     /// Ground truth for the semi-oblivious chase (termination on all
-    /// databases), when known analytically.
+    /// databases), when known analytically. `None` when the family leaves
+    /// ground truth to the bounded-chase oracle.
     pub so_terminates: Option<bool>,
     /// Ground truth for the oblivious chase.
     pub o_terminates: Option<bool>,
+    /// The loosest syntactic class the family promises to stay within:
+    /// `program.class() <= expected_class` always holds. Harnesses use it
+    /// to route members to the class-specific exact procedures.
+    pub expected_class: RuleClass,
+}
+
+impl LabeledProgram {
+    /// Whether the program honours its promised class bound.
+    pub fn class_holds(&self) -> bool {
+        self.program.class() <= self.expected_class
+    }
 }
 
 fn parse(name: &str, src: &str, so: bool, o: bool) -> LabeledProgram {
+    parse_in_class(name, src, so, o, RuleClass::SimpleLinear)
+}
+
+fn parse_in_class(name: &str, src: &str, so: bool, o: bool, class: RuleClass) -> LabeledProgram {
     LabeledProgram {
         name: name.to_string(),
         program: Program::parse(src).expect("family sources are well-formed"),
         so_terminates: Some(so),
         o_terminates: Some(o),
+        expected_class: class,
     }
 }
 
@@ -65,6 +82,7 @@ pub fn chain(n: usize) -> LabeledProgram {
         program,
         so_terminates: Some(true),
         o_terminates: Some(true),
+        expected_class: RuleClass::SimpleLinear,
     }
 }
 
@@ -85,6 +103,7 @@ pub fn cycle(n: usize) -> LabeledProgram {
         program: lp.program,
         so_terminates: Some(false),
         o_terminates: Some(false),
+        expected_class: RuleClass::SimpleLinear,
     }
 }
 
@@ -108,6 +127,7 @@ pub fn separator(n: usize) -> LabeledProgram {
         program,
         so_terminates: Some(true),
         o_terminates: Some(false),
+        expected_class: RuleClass::SimpleLinear,
     }
 }
 
@@ -125,6 +145,7 @@ pub fn critical_gap(n: usize) -> LabeledProgram {
         program: Program::parse(&src).unwrap(),
         so_terminates: Some(true),
         o_terminates: Some(true),
+        expected_class: RuleClass::Linear,
     }
 }
 
@@ -145,6 +166,7 @@ pub fn dl_lite(n: usize, cyclic: bool) -> LabeledProgram {
         program: Program::parse(&src).unwrap(),
         so_terminates: Some(!cyclic),
         o_terminates: Some(!cyclic),
+        expected_class: RuleClass::SimpleLinear,
     }
 }
 
@@ -163,6 +185,7 @@ pub fn data_exchange(n: usize) -> LabeledProgram {
         program: Program::parse(&src).unwrap(),
         so_terminates: Some(true),
         o_terminates: Some(true),
+        expected_class: RuleClass::SimpleLinear,
     }
 }
 
@@ -186,6 +209,7 @@ pub fn wide(k: usize) -> LabeledProgram {
         program,
         so_terminates: Some(false),
         o_terminates: Some(false),
+        expected_class: RuleClass::SimpleLinear,
     }
 }
 
@@ -212,6 +236,7 @@ pub fn wide_terminating(k: usize) -> LabeledProgram {
         program,
         so_terminates: Some(true),
         o_terminates: Some(true),
+        expected_class: RuleClass::SimpleLinear,
     }
 }
 
@@ -251,6 +276,7 @@ pub fn binary_counter(k: usize) -> LabeledProgram {
         program,
         so_terminates: Some(true),
         o_terminates: Some(true),
+        expected_class: RuleClass::SimpleLinear,
     }
 }
 

@@ -11,6 +11,7 @@
 
 pub mod database;
 pub mod families;
+pub mod ontology;
 pub mod random;
 
 pub use database::{path_database, random_database, DbConfig};
@@ -18,6 +19,8 @@ pub use families::{
     binary_counter, chain, corpus, critical_gap, cycle, data_exchange, dl_lite, paper_examples,
     separator, wide, wide_terminating, LabeledProgram,
 };
+pub use ontology::{critical_constants, dl_lite_r, lubm, ontology_corpus};
 pub use random::{
-    random_general, random_guarded, random_linear, random_simple_linear, RandomConfig,
+    random_general, random_guarded, random_linear, random_mixed, random_simple_linear,
+    RandomConfig,
 };

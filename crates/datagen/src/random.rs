@@ -288,6 +288,22 @@ pub fn random_general(cfg: &RandomConfig, seed: u64) -> Program {
     program
 }
 
+/// Samples one of the four class generators by seed (simple-linear,
+/// linear-with-constants, guarded, general in rotation), for harnesses
+/// that want a class-mixed random population alongside the structured
+/// ontology families. Deterministic in `(cfg, seed)`.
+pub fn random_mixed(cfg: &RandomConfig, seed: u64) -> Program {
+    match seed % 4 {
+        0 => random_simple_linear(cfg, seed),
+        1 => {
+            let cfg = RandomConfig { constants: cfg.constants.max(2), ..*cfg };
+            random_linear(&cfg, seed)
+        }
+        2 => random_guarded(cfg, seed),
+        _ => random_general(cfg, seed),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -15,14 +15,15 @@
 //! For the restricted chase, see [`crate::restricted`].
 
 use chasekit_acyclicity::{
-    is_grd_acyclic, is_jointly_acyclic, is_richly_acyclic, is_weakly_acyclic,
+    check_with_work, is_grd_acyclic, is_jointly_acyclic, Acyclicity, GraphKind,
 };
 use chasekit_core::{Program, RuleClass};
 use chasekit_engine::{Budget, ChaseVariant};
 
+use crate::effort::CheckerEffort;
 use crate::guarded::{decide_guarded, pumping_decide, GuardedConfig, GuardedVerdict};
 use crate::linear::decide_linear;
-use crate::mfa::{mfa_status, MfaStatus};
+use crate::mfa::{mfa_report, MfaStatus};
 
 /// How the portfolio reached its answer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,6 +52,8 @@ pub struct Decision {
     pub method: Method,
     /// The syntactic class the dispatcher saw.
     pub class: RuleClass,
+    /// Total work of every procedure the cascade tried before answering.
+    pub effort: CheckerEffort,
 }
 
 /// Budgeted portfolio decision for the oblivious or semi-oblivious chase.
@@ -65,7 +68,12 @@ pub fn decide(program: &Program, variant: ChaseVariant, budget: &Budget) -> Deci
         RuleClass::SimpleLinear | RuleClass::Linear => {
             let d = decide_linear(program, variant, false)
                 .expect("class checked: linear analysis cannot fail");
-            Decision { terminates: Some(d.terminates), method: Method::ExactLinear, class }
+            Decision {
+                terminates: Some(d.terminates),
+                method: Method::ExactLinear,
+                class,
+                effort: CheckerEffort::graph(d.position_nodes, d.position_edges, 0),
+            }
         }
         RuleClass::Guarded => {
             let mut cfg = GuardedConfig::new(variant);
@@ -73,21 +81,25 @@ pub fn decide(program: &Program, variant: ChaseVariant, budget: &Budget) -> Deci
             cfg.max_atoms = budget.max_atoms;
             let report = decide_guarded(program, cfg)
                 .expect("class checked: guarded analysis cannot fail");
+            let effort = report.effort;
             match report.verdict {
                 GuardedVerdict::Terminates => Decision {
                     terminates: Some(true),
                     method: Method::ExactGuarded,
                     class,
+                    effort,
                 },
                 GuardedVerdict::Diverges(_) => Decision {
                     terminates: Some(false),
                     method: Method::ExactGuarded,
                     class,
+                    effort,
                 },
                 GuardedVerdict::Unknown => Decision {
                     terminates: None,
                     method: Method::Undecided,
                     class,
+                    effort,
                 },
             }
         }
@@ -101,20 +113,30 @@ fn decide_general(
     budget: &Budget,
     class: RuleClass,
 ) -> Decision {
-    // Cheap sufficient conditions first.
-    if variant == ChaseVariant::Oblivious && is_richly_acyclic(program) {
-        return Decision {
-            terminates: Some(true),
-            method: Method::Sufficient("rich-acyclicity"),
-            class,
-        };
+    // Cheap sufficient conditions first, summing the cascade's effort so
+    // the decision reports everything it cost, not just the last step.
+    let mut effort = CheckerEffort::default();
+    if variant == ChaseVariant::Oblivious {
+        let (verdict, work) = check_with_work(program, GraphKind::Extended);
+        effort.absorb(work.into());
+        if verdict == Acyclicity::Acyclic {
+            return Decision {
+                terminates: Some(true),
+                method: Method::Sufficient("rich-acyclicity"),
+                class,
+                effort,
+            };
+        }
     }
     if variant == ChaseVariant::SemiOblivious {
-        if is_weakly_acyclic(program) {
+        let (verdict, work) = check_with_work(program, GraphKind::Standard);
+        effort.absorb(work.into());
+        if verdict == Acyclicity::Acyclic {
             return Decision {
                 terminates: Some(true),
                 method: Method::Sufficient("weak-acyclicity"),
                 class,
+                effort,
             };
         }
         if is_jointly_acyclic(program) {
@@ -122,14 +144,29 @@ fn decide_general(
                 terminates: Some(true),
                 method: Method::Sufficient("joint-acyclicity"),
                 class,
+                effort,
             };
         }
     }
     if is_grd_acyclic(program) {
-        return Decision { terminates: Some(true), method: Method::Sufficient("aGRD"), class };
+        return Decision {
+            terminates: Some(true),
+            method: Method::Sufficient("aGRD"),
+            class,
+            effort,
+        };
     }
-    if variant == ChaseVariant::SemiOblivious && mfa_status(program, budget) == MfaStatus::Mfa {
-        return Decision { terminates: Some(true), method: Method::Sufficient("MFA"), class };
+    if variant == ChaseVariant::SemiOblivious {
+        let report = mfa_report(program, budget);
+        effort.absorb(report.effort);
+        if report.status == MfaStatus::Mfa {
+            return Decision {
+                terminates: Some(true),
+                method: Method::Sufficient("MFA"),
+                class,
+                effort,
+            };
+        }
     }
 
     // General pumping semi-decision.
@@ -137,17 +174,19 @@ fn decide_general(
     cfg.max_applications = budget.max_applications;
     cfg.max_atoms = budget.max_atoms;
     let report = pumping_decide(program, cfg).expect("variant checked above");
+    effort.absorb(report.effort);
     match report.verdict {
         GuardedVerdict::Terminates => Decision {
             terminates: Some(true),
             method: Method::CriticalSaturation,
             class,
+            effort,
         },
         GuardedVerdict::Diverges(_) => {
-            Decision { terminates: Some(false), method: Method::Pumping, class }
+            Decision { terminates: Some(false), method: Method::Pumping, class, effort }
         }
         GuardedVerdict::Unknown => {
-            Decision { terminates: None, method: Method::Undecided, class }
+            Decision { terminates: None, method: Method::Undecided, class, effort }
         }
     }
 }

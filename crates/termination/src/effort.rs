@@ -1,0 +1,118 @@
+//! Uniform effort accounting across the termination checkers.
+//!
+//! Every checker in the portfolio does its work in one of two currencies:
+//! graph construction (the acyclicity conditions walk a dependency graph
+//! of schema positions) or chase exploration (MFA and the pumping
+//! procedures run the chase of the critical instance). [`CheckerEffort`]
+//! carries both so that [`crate::Decision`], [`crate::GuardedReport`], and
+//! [`crate::MfaReport`] — and through them the `conditions` CLI and the
+//! landscape harness — report cost in the same shape.
+
+use chasekit_acyclicity::GraphWork;
+use chasekit_engine::ChaseStats;
+
+/// Work a termination checker performed before answering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CheckerEffort {
+    /// Chase applications performed on the critical instance.
+    pub applications: u64,
+    /// Atoms in the critical-instance chase when the check decided.
+    pub atoms: usize,
+    /// Nodes (schema positions) in dependency graphs built.
+    pub nodes: usize,
+    /// Edges in dependency graphs built (regular + special).
+    pub edges: usize,
+    /// Edges marked special (null-creating propagation).
+    pub special_edges: usize,
+}
+
+impl CheckerEffort {
+    /// Effort of a chase-based checker (MFA, pumping).
+    pub fn chase(applications: u64, atoms: usize) -> CheckerEffort {
+        CheckerEffort { applications, atoms, ..CheckerEffort::default() }
+    }
+
+    /// Effort of a graph-based checker (WA, RA, JA, aGRD, shape graphs).
+    pub fn graph(nodes: usize, edges: usize, special_edges: usize) -> CheckerEffort {
+        CheckerEffort { nodes, edges, special_edges, ..CheckerEffort::default() }
+    }
+
+    /// Accumulates another checker's effort (a portfolio cascade sums the
+    /// work of everything it tried).
+    pub fn absorb(&mut self, other: CheckerEffort) {
+        self.applications += other.applications;
+        self.atoms += other.atoms;
+        self.nodes += other.nodes;
+        self.edges += other.edges;
+        self.special_edges += other.special_edges;
+    }
+
+    /// A single scalar for medians/percentiles: chase applications plus
+    /// graph edges — each is the unit the respective checker loops over.
+    pub fn cost(&self) -> u64 {
+        self.applications + self.edges as u64
+    }
+
+    /// Renders the non-zero currencies as `[...]`, the format the
+    /// `conditions` CLI prints after each verdict: graph work as
+    /// `[N nodes, M edges, K special]`, chase work as
+    /// `[N applications, M atoms]`, both joined by `; ` when a cascade
+    /// spent both.
+    pub fn summary(&self) -> String {
+        let mut parts = Vec::new();
+        if self.nodes > 0 || self.edges > 0 {
+            parts.push(format!(
+                "{} nodes, {} edges, {} special",
+                self.nodes, self.edges, self.special_edges
+            ));
+        }
+        if self.applications > 0 || self.atoms > 0 {
+            parts.push(format!("{} applications, {} atoms", self.applications, self.atoms));
+        }
+        if parts.is_empty() {
+            parts.push("no work".to_string());
+        }
+        format!("[{}]", parts.join("; "))
+    }
+}
+
+impl From<GraphWork> for CheckerEffort {
+    fn from(w: GraphWork) -> CheckerEffort {
+        CheckerEffort::graph(w.nodes, w.edges, w.special_edges)
+    }
+}
+
+impl From<&ChaseStats> for CheckerEffort {
+    /// Chase effort from engine statistics. `ChaseStats` counts atoms
+    /// *added*, not the instance size; callers that have the machine at
+    /// hand should prefer [`CheckerEffort::chase`] with the true size.
+    fn from(stats: &ChaseStats) -> CheckerEffort {
+        CheckerEffort::chase(stats.applications, stats.atoms_added as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summaries_render_each_currency() {
+        assert_eq!(CheckerEffort::graph(2, 3, 1).summary(), "[2 nodes, 3 edges, 1 special]");
+        assert_eq!(CheckerEffort::chase(7, 40).summary(), "[7 applications, 40 atoms]");
+        assert_eq!(CheckerEffort::default().summary(), "[no work]");
+        let mut both = CheckerEffort::graph(2, 3, 1);
+        both.absorb(CheckerEffort::chase(7, 40));
+        assert_eq!(both.summary(), "[2 nodes, 3 edges, 1 special; 7 applications, 40 atoms]");
+    }
+
+    #[test]
+    fn absorb_sums_and_cost_is_monotone() {
+        let mut e = CheckerEffort::graph(4, 6, 2);
+        let before = e.cost();
+        e.absorb(CheckerEffort::chase(10, 25));
+        assert_eq!(e.nodes, 4);
+        assert_eq!(e.applications, 10);
+        assert!(e.cost() > before);
+        assert_eq!(e.cost(), 16);
+    }
+}

@@ -54,6 +54,7 @@
 //! doubly-exponential worst case an explicit `Unknown` instead of a silent
 //! wrong answer; the experiments (E4) cross-validate against ground truth.
 
+use crate::effort::CheckerEffort;
 use chasekit_core::{
     Atom, AtomId, AtomRef, CriticalInstance, FxHashMap, FxHashSet, NullId, Program, RuleClass,
     Term,
@@ -157,6 +158,8 @@ pub struct GuardedReport {
     pub verdict: GuardedVerdict,
     /// Chase statistics of the exploration.
     pub stats: ChaseStats,
+    /// The exploration's work in the portfolio-wide effort currency.
+    pub effort: CheckerEffort,
 }
 
 /// Decides chase termination for a guarded rule set.
@@ -206,16 +209,10 @@ pub fn pumping_decide(program: &Program, config: GuardedConfig) -> Result<Guarde
         if machine.stats().applications >= config.max_applications
             || machine.instance().len() >= config.max_atoms
         {
-            return Ok(GuardedReport {
-                verdict: GuardedVerdict::Unknown,
-                stats: machine.stats().clone(),
-            });
+            return Ok(finish(&machine, GuardedVerdict::Unknown));
         }
         let Some(event) = machine.step() else {
-            return Ok(GuardedReport {
-                verdict: GuardedVerdict::Terminates,
-                stats: machine.stats().clone(),
-            });
+            return Ok(finish(&machine, GuardedVerdict::Terminates));
         };
         for &new_atom in &event.new_atoms {
             // Re-check pairs that were waiting for exactly this atom.
@@ -228,12 +225,8 @@ pub fn pumping_decide(program: &Program, config: GuardedConfig) -> Result<Guarde
                 for (b_id, a_id, dist) in pairs {
                     match certify_pair(&machine, a_id, b_id, &config) {
                         CertOutcome::Certified => {
-                            return Ok(GuardedReport {
-                                verdict: GuardedVerdict::Diverges(make_certificate(
-                                    &machine, a_id, b_id, dist,
-                                )),
-                                stats: machine.stats().clone(),
-                            });
+                            let cert = make_certificate(&machine, a_id, b_id, dist);
+                            return Ok(finish(&machine, GuardedVerdict::Diverges(cert)));
                         }
                         CertOutcome::Missing(atom) => {
                             pending.entry(atom).or_default().push((b_id, a_id, dist));
@@ -245,11 +238,15 @@ pub fn pumping_decide(program: &Program, config: GuardedConfig) -> Result<Guarde
 
             // Fresh checks along the new atom's guard chain.
             if let Some(cert) = scan_chain(&machine, new_atom, &config, &mut pending) {
-                let stats = machine.stats().clone();
-                return Ok(GuardedReport { verdict: GuardedVerdict::Diverges(cert), stats });
+                return Ok(finish(&machine, GuardedVerdict::Diverges(cert)));
             }
         }
     }
+}
+
+fn finish(machine: &ChaseMachine<'_>, verdict: GuardedVerdict) -> GuardedReport {
+    let effort = CheckerEffort::chase(machine.stats().applications, machine.instance().len());
+    GuardedReport { verdict, stats: machine.stats().clone(), effort }
 }
 
 fn make_certificate(

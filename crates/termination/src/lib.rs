@@ -33,6 +33,7 @@
 #![forbid(unsafe_code)]
 
 pub mod decide;
+pub mod effort;
 pub mod guarded;
 pub mod linear;
 pub mod looping;
@@ -41,6 +42,7 @@ pub mod restricted;
 pub mod shape;
 
 pub use decide::{decide, Decision, Method};
+pub use effort::CheckerEffort;
 pub use guarded::{
     decide_guarded, pumping_decide, GuardedConfig, GuardedError, GuardedReport, GuardedVerdict,
     PumpingCertificate,

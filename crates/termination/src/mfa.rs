@@ -20,6 +20,7 @@
 //! `track_skolem` option records each null's function tag and ancestry and
 //! flags cyclic terms — so MFA reduces to one configured chase run.
 
+use crate::effort::CheckerEffort;
 use chasekit_core::{CriticalInstance, Program};
 use chasekit_engine::{Budget, ChaseConfig, ChaseMachine, ChaseVariant};
 
@@ -53,10 +54,8 @@ impl MfaStatus {
 pub struct MfaReport {
     /// The verdict.
     pub status: MfaStatus,
-    /// Chase applications performed on the critical instance.
-    pub applications: u64,
-    /// Atoms in the critical-instance chase when the check decided.
-    pub atoms: usize,
+    /// Chase work performed on the critical instance.
+    pub effort: CheckerEffort,
 }
 
 /// Checks model-faithful acyclicity with the given fuel.
@@ -93,8 +92,7 @@ pub fn mfa_report(program: &Program, budget: &Budget) -> MfaReport {
     };
     MfaReport {
         status,
-        applications: machine.stats().applications,
-        atoms: machine.instance().len(),
+        effort: CheckerEffort::chase(machine.stats().applications, machine.instance().len()),
     }
 }
 
@@ -209,12 +207,12 @@ mod tests {
         let p = parse("p(X, Y) -> q(X, Y).");
         let report = mfa_report(&p, &Budget::default());
         assert_eq!(report.status, MfaStatus::Mfa);
-        assert!(report.applications >= 1, "the copy rule fires on the critical instance");
-        assert!(report.atoms >= 2);
+        assert!(report.effort.applications >= 1, "the copy rule fires on the critical instance");
+        assert!(report.effort.atoms >= 2);
 
         let diverging = parse("person(X) -> hasFather(X, Y), person(Y).");
         let report = mfa_report(&diverging, &Budget::default());
         assert_eq!(report.status, MfaStatus::NotMfa);
-        assert!(report.applications >= 2, "nesting f(f(a)) needs at least two firings");
+        assert!(report.effort.applications >= 2, "nesting f(f(a)) needs at least two firings");
     }
 }

@@ -14,6 +14,7 @@
 //!                    [--variant o|so|restricted] [--steps N] [--timeout-ms N]
 //!                    [--max-atoms-mem BYTES] [--checkpoint-every N]
 //!                    [--journal-flush-every N]
+//! chasekit bench landscape [--quick] [--json FILE]
 //! ```
 //!
 //! The rules file uses the textual format described in the README; facts in
@@ -48,6 +49,7 @@ use chasekit::prelude::*;
 const USAGE: &str = "usage: chasekit <classify|conditions|decide|explain|chase|critical> <rules-file> [options]
        chasekit update <rules-file> --edits SCRIPT [options]
        chasekit serve --store DIR [options]
+       chasekit bench landscape [--quick] [--json FILE]
 options:
   --variant o|so|restricted   chase variant (default: so)
   --steps N                   chase step budget (default: 10000)
@@ -99,6 +101,10 @@ options:
                               (default 2; 0 = one per available core)
   --queue N                   (serve) admission cap: queued+running jobs
                               beyond it are rejected as overloaded (default 16)
+  --quick                     (bench landscape) smoke-scale run (also
+                              implied by CHASEKIT_BENCH_QUICK=1)
+  --json FILE                 (bench landscape) JSON output path (default:
+                              BENCH_checker_landscape.json at the repo root)
 exit codes (chase): 0 saturated, 10 applications, 11 atoms, 12 wall-clock,
                     13 memory, 14 cancelled, 15 durability I/O failure;
                     3 after a successful --recover";
@@ -473,7 +479,68 @@ fn run_serve(args: &Args) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `chasekit bench landscape [--quick] [--json FILE]`: the corpus-scale
+/// termination-checker shoot-out (experiment E9). Renders the landscape
+/// tables, writes the JSON artifact, and exits non-zero if any checker
+/// contradicted the bounded-chase ground truth.
+fn run_bench(argv: &[String]) -> ExitCode {
+    use chasekit::bench::exp::landscape;
+
+    match argv.first().map(String::as_str) {
+        Some("landscape") => {}
+        Some(other) => return arg_error(format!("unknown bench subcommand `{other}`")),
+        None => return arg_error("`bench` needs a subcommand (landscape)".to_string()),
+    }
+    let mut quick =
+        std::env::var("CHASEKIT_BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0");
+    let mut json_path: Option<String> = None;
+    let mut it = argv[1..].iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--quick" => quick = true,
+            "--json" => match it.next() {
+                Some(path) => json_path = Some(path.clone()),
+                None => return arg_error("`--json` requires a value".to_string()),
+            },
+            other => return arg_error(format!("unknown bench flag `{other}`")),
+        }
+    }
+
+    let params = if quick { landscape::Params::quick() } else { landscape::Params::default() };
+    let result = landscape::run(&params);
+    for t in &result.tables {
+        println!("{}", t.render());
+    }
+    let path = json_path.unwrap_or_else(|| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_checker_landscape.json").to_string()
+    });
+    if let Err(e) = std::fs::write(&path, &result.json) {
+        eprintln!("cannot write {path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "landscape: {} programs, {} checkers, {} contradictions -> {path}",
+        result.outcome.programs,
+        landscape::CHECKERS.len(),
+        result.outcome.contradictions.len()
+    );
+    if result.outcome.contradictions.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        for c in &result.outcome.contradictions {
+            eprintln!("contradiction: {c}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
+    // `bench` has its own tiny argv shape (subcommand + flags, no rules
+    // file); dispatch it before the rules-file argument parser.
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.first().map(String::as_str) == Some("bench") {
+        return run_bench(&raw[1..]);
+    }
     let args = match parse_args() {
         Ok(args) => args,
         Err(msg) => return arg_error(msg),
@@ -530,34 +597,31 @@ fn main() -> ExitCode {
         }
         "conditions" => {
             use chasekit::acyclicity::{check_with_work, GraphKind};
-            use chasekit::termination::mfa_report;
+            use chasekit::termination::{mfa_report, CheckerEffort};
+            // Every line reports cost through the same CheckerEffort
+            // rendering the landscape harness uses.
             let (wa, wa_work) = check_with_work(&program, GraphKind::Standard);
             let (ra, ra_work) = check_with_work(&program, GraphKind::Extended);
             println!(
-                "weak acyclicity (WA):   {} [{} nodes, {} edges, {} special]",
+                "weak acyclicity (WA):   {} {}",
                 wa.is_acyclic(),
-                wa_work.nodes,
-                wa_work.edges,
-                wa_work.special_edges
+                CheckerEffort::from(wa_work).summary()
             );
             println!(
-                "rich acyclicity (RA):   {} [{} nodes, {} edges, {} special]",
+                "rich acyclicity (RA):   {} {}",
                 ra.is_acyclic(),
-                ra_work.nodes,
-                ra_work.edges,
-                ra_work.special_edges
+                CheckerEffort::from(ra_work).summary()
             );
             println!("joint acyclicity (JA):  {}", is_jointly_acyclic(&program));
             println!("aGRD:                   {}", is_grd_acyclic(&program));
             let mfa = mfa_report(&program, &Budget::default());
             println!(
-                "MFA:                    {} [{} applications, {} atoms]",
+                "MFA:                    {} {}",
                 match mfa.status.is_mfa() {
                     Some(b) => b.to_string(),
                     None => "unknown (fuel)".to_string(),
                 },
-                mfa.applications,
-                mfa.atoms
+                mfa.effort.summary()
             );
             ExitCode::SUCCESS
         }
@@ -571,6 +635,7 @@ fn main() -> ExitCode {
             let d = decide(&program, args.variant, &budget);
             println!("class:  {}", d.class);
             println!("method: {:?}", d.method);
+            println!("effort: {}", d.effort.summary());
             match d.terminates {
                 Some(true) => println!("the {} chase TERMINATES on all databases", args.variant),
                 Some(false) => println!("the {} chase DIVERGES on some database", args.variant),

@@ -23,7 +23,9 @@
 //!   reduction behind the lower bounds, and the future-work
 //!   restricted-chase procedure for single-head linear TGDs;
 //! * seeded workload generators ([`datagen`]) powering the experiment
-//!   suite (see `crates/bench` and EXPERIMENTS.md).
+//!   suite (see `crates/bench` and EXPERIMENTS.md), and the experiment
+//!   harness itself ([`bench`]) including the corpus-scale checker
+//!   shoot-out (`chasekit bench landscape`).
 //!
 //! ## Quickstart
 //!
@@ -50,6 +52,7 @@
 #![forbid(unsafe_code)]
 
 pub use chasekit_acyclicity as acyclicity;
+pub use chasekit_bench as bench;
 pub use chasekit_core as core;
 pub use chasekit_datagen as datagen;
 pub use chasekit_engine as engine;
